@@ -1,0 +1,64 @@
+"""Extension — transfer learning autotuning (TLA) value curve.
+
+Not a paper table (the paper only states the archive-and-reuse goal), but
+the natural follow-up experiment for the system: given completed MLA data
+on source tasks, how good is an *unseen* task's configuration after 0 new
+evaluations (TLA-0) and after a handful (TLA-MLA), versus tuning from
+scratch with the same small budget?
+"""
+
+import numpy as np
+
+from harness import FAST_OPTS, fmt, print_table, save_results
+from repro.apps.scalapack import PDGEQRF
+from repro.core import GPTune, Options, TransferLearner
+from repro.runtime import cori_haswell
+
+
+def test_ext_tla_transfer_value(benchmark):
+    app = PDGEQRF(machine=cori_haswell(4), mn_max=16000, seed=0)
+    prob = app.problem()
+    opts = Options(seed=2, **FAST_OPTS)
+
+    sources = [
+        {"m": 4000, "n": 4000},
+        {"m": 8000, "n": 8000},
+        {"m": 14000, "n": 14000},
+        {"m": 12000, "n": 4000},
+    ]
+    src = GPTune(prob, opts).tune(sources, 12)
+    tla = TransferLearner(prob, src.data)
+
+    new_tasks = [{"m": 6000, "n": 6000}, {"m": 11000, "n": 11000}, {"m": 10000, "n": 5000}]
+    rows, record = [], {}
+    for t in new_tasks:
+        y_tla0 = app.objective(t, tla.predict_config(t))
+        res_tla = tla.tune(t, 4, options=opts, max_source_tasks=3)
+        y_tlam = res_tla.best(res_tla.data.n_tasks - 1)[1]
+        y_scratch = GPTune(prob, opts).tune([t], 4).best(0)[1]
+        y_default = app.objective(t, app.default_config(t))
+        lbl = f"{t['m']}x{t['n']}"
+        rows.append([lbl, fmt(y_tla0), fmt(y_tlam), fmt(y_scratch), fmt(y_default)])
+        record[lbl] = {
+            "tla0": y_tla0,
+            "tla_mla_4": y_tlam,
+            "scratch_4": y_scratch,
+            "default": y_default,
+        }
+
+    print_table(
+        "Extension: transfer learning to unseen tasks (PDGEQRF)",
+        ["new task", "TLA-0 (0 runs)", "TLA-MLA (4 runs)", "scratch (4 runs)", "default"],
+        rows,
+    )
+    save_results("ext_tla", record)
+
+    # TLA with zero evaluations must already be competitive: on average
+    # within 2x of the 4-run from-scratch result, and TLA-MLA must not lose
+    # to scratch on average (it sees strictly more information)
+    tla0 = np.array([r["tla0"] for r in record.values()])
+    tlam = np.array([r["tla_mla_4"] for r in record.values()])
+    scratch = np.array([r["scratch_4"] for r in record.values()])
+    assert np.mean(tla0 / scratch) < 2.0
+    assert np.mean(tlam / scratch) < 1.25
+    benchmark(lambda: tla.predict_config({"m": 9000, "n": 9000}))

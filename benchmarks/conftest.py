@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration: everything here is a pytest-benchmark."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

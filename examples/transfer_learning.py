@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Transfer learning autotuning: tune a new PDSYEVX size from old data.
+
+GPTune's archive is more than a cache — completed tuning data for sizes
+m ∈ {3000, 4500, 6000} can tune an unseen m = 5200 either with **zero** new
+runs (TLA-0: interpolate the per-size optima over the task space) or with a
+handful (TLA-MLA: the new task joins the LCM while the source tasks stay
+frozen).  Both are compared here against tuning the new size from scratch.
+
+Run:  python examples/transfer_learning.py
+"""
+
+from repro import GPTune, Options
+from repro.apps.scalapack import PDSYEVX
+from repro.core import TransferLearner
+from repro.runtime import cori_haswell
+
+
+def main():
+    app = PDSYEVX(machine=cori_haswell(1), m_max=8000, seed=0)
+    prob = app.problem()
+    opts = Options(seed=0, n_start=2)
+
+    sources = [{"m": 3000}, {"m": 4500}, {"m": 6000}]
+    print("tuning source tasks (16 evaluations each)...")
+    src = GPTune(prob, opts).tune(sources, n_samples=16)
+    for i, t in enumerate(sources):
+        print(f"  m={t['m']}: best {src.best(i)[1]:.3f}s at {src.best(i)[0]}")
+
+    new_task = {"m": 5200}
+    tla = TransferLearner(prob, src.data)
+
+    cfg0 = tla.predict_config(new_task)
+    y0 = app.objective(new_task, cfg0)
+    print(f"\nTLA-0 (0 new runs):      {y0:.3f}s at {cfg0}")
+
+    res = tla.tune(new_task, n_samples=6, options=opts.replace(seed=8))
+    cfg1, y1 = res.best(res.data.n_tasks - 1)
+    print(f"TLA-MLA (6 new runs):    {y1:.3f}s at {cfg1}")
+
+    scratch = GPTune(prob, opts.replace(seed=8)).tune([new_task], n_samples=6)
+    print(f"from scratch (6 runs):   {scratch.best(0)[1]:.3f}s at {scratch.best(0)[0]}")
+
+    default = app.objective(new_task, app.default_config(new_task))
+    print(f"default configuration:   {default:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

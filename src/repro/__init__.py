@@ -1,0 +1,58 @@
+"""repro — a from-scratch reproduction of GPTune (PPoPP 2021).
+
+GPTune is a multitask-learning Bayesian-optimization autotuner for exascale
+applications.  This package implements the full system described in the
+paper — the Linear Coregionalization Model surrogate, the MLA driver
+(single- and multi-objective), coarse performance-model incorporation, a
+(simulated) distributed-memory parallel runtime, the evaluated HPC
+application substrates, and the OpenTuner/HpBandSter baseline tuners.
+
+Quickstart::
+
+    from repro import GPTune, Options
+    from repro.apps.analytical import AnalyticalApp
+
+    app = AnalyticalApp()
+    tuner = GPTune(app.problem(), Options(seed=0))
+    result = tuner.tune(tasks=[{"t": 2.0}], n_samples=20)
+    print(result.best(0))
+"""
+
+from .core import (
+    Categorical,
+    Constraint,
+    GaussianProcess,
+    GPTune,
+    HistoryDB,
+    Integer,
+    LCM,
+    Options,
+    Real,
+    Space,
+    TransferLearner,
+    TuneResult,
+    TuningData,
+    TuningProblem,
+    surrogate_sensitivity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Categorical",
+    "Constraint",
+    "GaussianProcess",
+    "GPTune",
+    "HistoryDB",
+    "Integer",
+    "LCM",
+    "Options",
+    "Real",
+    "Space",
+    "TransferLearner",
+    "TuneResult",
+    "TuningData",
+    "TuningProblem",
+    "__version__",
+    "surrogate_sensitivity",
+]

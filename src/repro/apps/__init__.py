@@ -1,0 +1,26 @@
+"""Application substrates evaluated in the paper (Table 2)."""
+
+from .analytical import AnalyticalApp, analytical_function, true_minimum
+from .base import Application, noise_rng
+from .fusion import M3DC1, NIMROD
+from .hypre import HypreApp
+from .scalapack import PDGEQRF, PDSYEVX
+from .superlu import SuperLUDIST
+from .synthetic import BraninApp, RosenbrockApp, SphereApp
+
+__all__ = [
+    "AnalyticalApp",
+    "BraninApp",
+    "Application",
+    "HypreApp",
+    "M3DC1",
+    "NIMROD",
+    "PDGEQRF",
+    "PDSYEVX",
+    "RosenbrockApp",
+    "SphereApp",
+    "SuperLUDIST",
+    "analytical_function",
+    "noise_rng",
+    "true_minimum",
+]

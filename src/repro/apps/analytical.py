@@ -1,0 +1,106 @@
+"""The analytical test function of Eq. (11).
+
+.. math::
+
+    y(t, x) = 1 + e^{-(x+1)^{t+1}} \\cos(2\\pi x)
+              \\sum_{i=1}^{5} \\sin(2\\pi x (t+2)^i)
+
+with task parameter ``t`` and tuning parameter ``x``, both real.  The paper
+uses it for the parallel-speedup study (Fig. 3, δ = 20 tasks) and the
+performance-model study (Fig. 4 left, with the noisy model
+``ỹ = (1 + 0.1 r(x)) y``).  The function is highly non-convex — larger ``t``
+adds faster oscillation — making it a hard 1-D black-box benchmark whose true
+minimum we can still find by dense scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..core.params import Real
+from ..core.perfmodel import CallableModel
+from ..core.space import Space
+from .base import Application, noise_rng
+
+__all__ = ["analytical_function", "AnalyticalApp", "true_minimum"]
+
+
+def analytical_function(t: float, x) -> np.ndarray:
+    """Vectorized Eq. (11); ``x`` may be scalar or array, ``t`` scalar."""
+    x = np.asarray(x, dtype=float)
+    t = float(t)
+    s = np.zeros_like(x)
+    for i in range(1, 6):
+        s += np.sin(2.0 * np.pi * x * (t + 2.0) ** i)
+    return 1.0 + np.exp(-((x + 1.0) ** (t + 1.0))) * np.cos(2.0 * np.pi * x) * s
+
+
+def true_minimum(t: float, resolution: int = 200_001) -> Tuple[float, float]:
+    """Global minimum of Eq. (11) on ``x ∈ [0, 1]`` by dense scan.
+
+    Returns ``(x*, y*)``.  A 2·10⁵-point scan resolves the fastest
+    oscillation (period ≳ 1/(t+2)⁵ ≈ 4·10⁻⁶ per unit at t = 9.5 is below
+    scan resolution only for extreme t; for the paper's t ≤ 9.5 tasks the
+    scan is refined locally by golden-section afterwards).
+    """
+    xs = np.linspace(0.0, 1.0, resolution)
+    ys = analytical_function(t, xs)
+    i = int(np.argmin(ys))
+    # local refinement around the best grid cell
+    lo = xs[max(0, i - 1)]
+    hi = xs[min(resolution - 1, i + 1)]
+    from scipy.optimize import minimize_scalar
+
+    res = minimize_scalar(
+        lambda x: float(analytical_function(t, x)), bounds=(lo, hi), method="bounded"
+    )
+    if res.fun < ys[i]:
+        return float(res.x), float(res.fun)
+    return float(xs[i]), float(ys[i])
+
+
+class AnalyticalApp(Application):
+    """Eq. (11) wrapped as a (sequential, noise-free) application.
+
+    Parameters
+    ----------
+    t_range:
+        Bounds of the task parameter (paper tasks: ``t = 0, 0.5, …, 9.5``).
+    model_noise:
+        Amplitude of the noisy performance model ``ỹ = (1 + a·r(x))·y``
+        used in Fig. 4 left (paper: ``a = 0.1``).
+    """
+
+    name = "analytical"
+    n_objectives = 1
+    objective_names = ("value",)
+
+    def __init__(self, t_range=(0.0, 10.0), model_noise: float = 0.1, **kw):
+        super().__init__(**kw)
+        self.t_range = (float(t_range[0]), float(t_range[1]))
+        self.model_noise = float(model_noise)
+
+    def task_space(self) -> Space:
+        return Space([Real("t", self.t_range[0], self.t_range[1])])
+
+    def tuning_space(self) -> Space:
+        return Space([Real("x", 0.0, 1.0)])
+
+    def default_config(self, task: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"x": 0.5}
+
+    def run(self, task: Mapping[str, Any], config: Mapping[str, Any], repeat: int) -> float:
+        return float(analytical_function(task["t"], config["x"]))
+
+    def models(self):
+        """The Fig. 4 noisy model: the objective scaled by ``1 + a·r(x)``."""
+
+        def noisy_model(task: Mapping[str, Any], config: Mapping[str, Any]) -> float:
+            r = noise_rng(self.seed + 7, task, config).normal()
+            return float(
+                (1.0 + self.model_noise * r) * analytical_function(task["t"], config["x"])
+            )
+
+        return [CallableModel(noisy_model)]

@@ -1,0 +1,127 @@
+"""Application interface for tuning substrates.
+
+Every evaluated code from Table 2 of the paper is represented by an
+:class:`Application`: it declares its task space ``IS``, tuning space ``PS``
+(with constraints), default configuration, objective(s), and optional coarse
+performance models, and packages them into a
+:class:`~repro.core.problem.TuningProblem`.  Application objectives are
+*simulators* priced against a :class:`~repro.runtime.machine.Machine` (see
+DESIGN.md for the substitution rationale); their randomness is seeded so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.problem import TuningProblem
+from ..core.space import Space
+from ..runtime.machine import Machine, cori_haswell
+
+__all__ = ["Application", "noise_rng"]
+
+
+def noise_rng(seed: int, task: Mapping[str, Any], config: Mapping[str, Any]) -> np.random.Generator:
+    """Deterministic per-(task, config) RNG for measurement noise.
+
+    Hashing the native values means repeated evaluations of the same point
+    see the same "machine", while different points get independent noise —
+    the structured residual a real system would show.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(repr(sorted(task.items())).encode())
+    h.update(repr(sorted(config.items())).encode())
+    h.update(str(seed).encode())
+    return np.random.default_rng(int.from_bytes(h.digest(), "little"))
+
+
+class Application:
+    """Base class for tunable application simulators.
+
+    Parameters
+    ----------
+    machine:
+        Machine model pricing the simulated runs; defaults to one Cori
+        Haswell node as in the paper's small experiments.
+    seed:
+        Base seed for the simulator's noise model.
+    repeats:
+        Number of simulated repetitions per evaluation; the minimum is
+        returned ("all the runs of PDGEQRF and PDSYEVX were performed 3
+        times, and the minimal runtime was selected", Sec. 6.2).
+    """
+
+    #: subclasses set these
+    name: str = "application"
+    n_objectives: int = 1
+    objective_names: Sequence[str] = ("runtime",)
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        seed: int = 0,
+        repeats: int = 1,
+    ):
+        self.machine = machine or cori_haswell(1)
+        self.seed = int(seed)
+        self.repeats = max(1, int(repeats))
+        self.n_evaluations = 0
+
+    # -- to be provided by subclasses -------------------------------------
+    def task_space(self) -> Space:
+        """The application's ``IS``."""
+        raise NotImplementedError
+
+    def tuning_space(self) -> Space:
+        """The application's ``PS`` (with constraints)."""
+        raise NotImplementedError
+
+    def default_config(self, task: Mapping[str, Any]) -> Dict[str, Any]:
+        """The code's out-of-the-box configuration for a task."""
+        raise NotImplementedError
+
+    def run(self, task: Mapping[str, Any], config: Mapping[str, Any], repeat: int) -> Any:
+        """One simulated execution; scalar or length-γ output."""
+        raise NotImplementedError
+
+    def models(self) -> List[Any]:
+        """Coarse performance models (Sec. 3.3); default none."""
+        return []
+
+    # -- common machinery --------------------------------------------------
+    def objective(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> Any:
+        """Best-of-``repeats`` evaluation (element-wise minimum for γ > 1)."""
+        self.n_evaluations += 1
+        outs = [
+            np.atleast_1d(np.asarray(self.run(task, config, r), dtype=float))
+            for r in range(self.repeats)
+        ]
+        best = np.min(np.vstack(outs), axis=0)
+        return float(best[0]) if self.n_objectives == 1 else best
+
+    def problem(self, with_models: bool = False) -> TuningProblem:
+        """Package this application as a :class:`TuningProblem`.
+
+        Parameters
+        ----------
+        with_models:
+            Attach the application's coarse performance models.
+        """
+        return TuningProblem(
+            task_space=self.task_space(),
+            tuning_space=self.tuning_space(),
+            objective=self.objective,
+            n_objectives=self.n_objectives,
+            models=self.models() if with_models else None,
+            objective_names=list(self.objective_names),
+            name=self.name,
+        )
+
+    def sample_tasks(self, n: int, seed: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Draw ``n`` random tasks from ``IS`` (the paper's random tasks)."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        space = self.task_space()
+        return [space.denormalize(rng.random(space.dimension)) for _ in range(n)]

@@ -1,0 +1,5 @@
+"""Fusion-plasma application surrogates (M3D_C1, NIMROD)."""
+
+from .timestepping import M3DC1, NIMROD, ROWPERM_CHOICES
+
+__all__ = ["M3DC1", "NIMROD", "ROWPERM_CHOICES"]

@@ -1,0 +1,33 @@
+"""hypre substrate: from-scratch classical AMG, restarted GMRES, and the
+12-parameter BoomerAMG+GMRES tuning application."""
+
+from .amg import (
+    AMGHierarchy,
+    COARSEN_CHOICES,
+    INTERP_CHOICES,
+    Level,
+    RELAX_CHOICES,
+    build_hierarchy,
+    coarsen,
+    interpolation,
+    poisson3d,
+    strength_graph,
+)
+from .gmres import GMRESResult, gmres
+from .simulator import HypreApp
+
+__all__ = [
+    "AMGHierarchy",
+    "COARSEN_CHOICES",
+    "GMRESResult",
+    "HypreApp",
+    "INTERP_CHOICES",
+    "Level",
+    "RELAX_CHOICES",
+    "build_hierarchy",
+    "coarsen",
+    "gmres",
+    "interpolation",
+    "poisson3d",
+    "strength_graph",
+]

@@ -1,0 +1,466 @@
+"""Classical algebraic multigrid, from scratch.
+
+The hypre experiments of Sec. 6.6 tune "GMRES with the BoomerAMG
+preconditioner for solving the Poisson equation on structured 3D grids",
+with 12 tuning parameters "including choice of coarsening algorithms,
+smoothers and interpolation operators, and their corresponding parameters".
+So convergence must *respond* to those choices — this module implements the
+actual algorithms rather than a convergence formula:
+
+* strength-of-connection graph with threshold θ and a ``max_row_sum``
+  diagonal-dominance cutoff (both real BoomerAMG options),
+* coarsening: Ruge–Stüben first pass (``RS``), the parallel independent-set
+  method (``PMIS``), and ``HMIS`` (PMIS seeded by an RS pass, here realized
+  as PMIS with second-pass thinning — the aggressive variant),
+* interpolation: ``direct``, ``classical`` (Ruge–Stüben, distributing
+  strong F–F connections) and ``one_point``; truncated by relative
+  threshold and a per-row max element count, then rescaled,
+* Galerkin coarse operators ``Aᶜ = Pᵀ A P``,
+* smoothers: weighted Jacobi, Gauss–Seidel, SOR, and ℓ1-Jacobi,
+* V-cycles with configurable sweep counts and a dense direct coarse solve.
+
+Everything is plain SciPy sparse; problem sizes are downscaled by the
+simulator so a V-cycle costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve_triangular
+
+__all__ = [
+    "poisson3d",
+    "strength_graph",
+    "coarsen",
+    "interpolation",
+    "Level",
+    "AMGHierarchy",
+    "build_hierarchy",
+    "COARSEN_CHOICES",
+    "INTERP_CHOICES",
+    "RELAX_CHOICES",
+]
+
+COARSEN_CHOICES = ("RS", "PMIS", "HMIS")
+INTERP_CHOICES = ("direct", "classical", "one_point")
+RELAX_CHOICES = ("jacobi", "gauss_seidel", "sor", "l1_jacobi")
+
+
+def poisson3d(n1: int, n2: int, n3: int) -> sparse.csr_matrix:
+    """7-point Laplacian on an ``n1 × n2 × n3`` grid (Dirichlet)."""
+    if min(n1, n2, n3) < 1:
+        raise ValueError("grid dims must be >= 1")
+
+    def lap1d(n):
+        return sparse.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+
+    I1, I2, I3 = (sparse.identity(n, format="csr") for n in (n1, n2, n3))
+    A = (
+        sparse.kron(sparse.kron(lap1d(n1), I2), I3)
+        + sparse.kron(sparse.kron(I1, lap1d(n2)), I3)
+        + sparse.kron(sparse.kron(I1, I2), lap1d(n3))
+    )
+    return sparse.csr_matrix(A)
+
+
+def strength_graph(
+    A: sparse.csr_matrix, theta: float, max_row_sum: float = 1.0
+) -> sparse.csr_matrix:
+    """Classical strength of connection.
+
+    ``j`` strongly influences ``i`` iff ``-a_ij ≥ θ · max_k(-a_ik)``.  Rows
+    whose off-diagonal mass is below ``(1 − max_row_sum)`` of the diagonal
+    (nearly diagonally dominant) are treated as having no strong
+    connections, mirroring BoomerAMG's ``max_row_sum`` filter.
+    """
+    A = sparse.csr_matrix(A)
+    n = A.shape[0]
+    indptr, indices, data = A.indptr, A.indices, A.data
+    s_rows, s_cols = [], []
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        cols = indices[lo:hi]
+        vals = data[lo:hi]
+        off = cols != i
+        if not np.any(off):
+            continue
+        neg = -vals[off]
+        m = neg.max()
+        if m <= 0:
+            continue
+        diag = vals[~off].sum() if np.any(~off) else 0.0
+        row_sum = np.abs(vals[off]).sum()
+        if diag != 0 and row_sum / abs(diag) < (1.0 - max_row_sum):
+            continue
+        strong = cols[off][neg >= theta * m]
+        s_rows.extend([i] * strong.shape[0])
+        s_cols.extend(strong.tolist())
+    S = sparse.coo_matrix(
+        (np.ones(len(s_rows)), (s_rows, s_cols)), shape=(n, n)
+    ).tocsr()
+    return S
+
+
+def _rs_coarsen(S: sparse.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+    """Ruge–Stüben first pass: greedy by transpose-strong measure."""
+    n = S.shape[0]
+    ST = S.T.tocsr()
+    measure = np.diff(ST.indptr).astype(float)
+    state = np.zeros(n, dtype=np.int8)  # 0 undecided, 1 C, -1 F
+    order = np.argsort(-(measure + rng.random(n)), kind="stable")
+    import heapq
+
+    heap = [(-measure[i], i) for i in range(n)]
+    heapq.heapify(heap)
+    del order
+    while heap:
+        negm, i = heapq.heappop(heap)
+        if state[i] != 0 or -negm != measure[i]:
+            continue
+        state[i] = 1  # C-point
+        # strong dependents of i become F; their influences gain measure
+        for j in ST.indices[ST.indptr[i] : ST.indptr[i + 1]]:
+            if state[j] == 0:
+                state[j] = -1
+                for k in S.indices[S.indptr[j] : S.indptr[j + 1]]:
+                    if state[k] == 0:
+                        measure[k] += 1
+                        heapq.heappush(heap, (-measure[k], k))
+    state[state == 0] = 1  # isolated leftovers become C
+    return state == 1
+
+
+def _pmis_coarsen(S: sparse.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+    """PMIS: independent set on the symmetrized strength graph."""
+    n = S.shape[0]
+    G = ((S + S.T) > 0).astype(np.int8).tocsr()
+    measure = np.diff(S.T.tocsr().indptr).astype(float) + rng.random(n)
+    state = np.zeros(n, dtype=np.int8)
+    # isolated points become C immediately
+    state[np.diff(G.indptr) == 0] = 1
+    while np.any(state == 0):
+        undecided = np.where(state == 0)[0]
+        new_c = []
+        for i in undecided:
+            nbrs = G.indices[G.indptr[i] : G.indptr[i + 1]]
+            live = nbrs[state[nbrs] >= 0]
+            live = live[state[live] != -1]
+            if np.all(measure[i] > measure[live[live != i]]) if live.size else True:
+                new_c.append(i)
+        if not new_c:  # numerical tie fallback
+            new_c = [undecided[int(np.argmax(measure[undecided]))]]
+        for i in new_c:
+            state[i] = 1
+            nbrs = G.indices[G.indptr[i] : G.indptr[i + 1]]
+            state[nbrs[state[nbrs] == 0]] = -1
+    return state == 1
+
+
+def coarsen(
+    S: sparse.csr_matrix,
+    method: str,
+    rng: Optional[np.random.Generator] = None,
+    aggressive: bool = False,
+) -> np.ndarray:
+    """C/F splitting; returns a boolean C-point mask.
+
+    ``aggressive`` applies a second splitting pass *on the C-points*
+    (BoomerAMG's aggressive-coarsening levels), roughly squaring the
+    coarsening ratio.
+    """
+    rng = rng or np.random.default_rng(0)
+    if method == "RS":
+        cmask = _rs_coarsen(S, rng)
+    elif method == "PMIS":
+        cmask = _pmis_coarsen(S, rng)
+    elif method == "HMIS":
+        # PMIS on top of an RS pass: RS decides candidates, PMIS thins them
+        rs = _rs_coarsen(S, rng)
+        cand = np.where(rs)[0]
+        if cand.size:
+            sub = S[cand][:, cand].tocsr()
+            keep = _pmis_coarsen(sub, rng)
+            cmask = np.zeros(S.shape[0], dtype=bool)
+            cmask[cand[keep]] = True
+        else:
+            cmask = rs
+    else:
+        raise ValueError(f"unknown coarsening {method!r}; know {COARSEN_CHOICES}")
+    if aggressive and cmask.sum() > 8:
+        cidx = np.where(cmask)[0]
+        S2 = S[cidx][:, cidx].tocsr()
+        inner = coarsen(S2, "PMIS", rng, aggressive=False)
+        out = np.zeros_like(cmask)
+        out[cidx[inner]] = True
+        cmask = out
+    if not cmask.any():  # never return an empty coarse grid
+        cmask[0] = True
+    return cmask
+
+
+def interpolation(
+    A: sparse.csr_matrix,
+    S: sparse.csr_matrix,
+    cmask: np.ndarray,
+    method: str,
+    trunc_factor: float = 0.0,
+    p_max_elmts: int = 0,
+) -> sparse.csr_matrix:
+    """Build the prolongation ``P`` (n × n_c) for a C/F splitting.
+
+    ``trunc_factor`` drops entries below that fraction of the row max and
+    ``p_max_elmts`` caps entries per row (0 = unlimited); rows are rescaled
+    to preserve their sum, as BoomerAMG does.
+    """
+    if method not in INTERP_CHOICES:
+        raise ValueError(f"unknown interpolation {method!r}; know {INTERP_CHOICES}")
+    A = sparse.csr_matrix(A)
+    n = A.shape[0]
+    cidx = np.where(cmask)[0]
+    cmap = -np.ones(n, dtype=np.int64)
+    cmap[cidx] = np.arange(cidx.shape[0])
+    rows, cols, vals = [], [], []
+    Sr = S.tocsr()
+    for i in range(n):
+        if cmask[i]:
+            rows.append(i)
+            cols.append(cmap[i])
+            vals.append(1.0)
+            continue
+        lo, hi = A.indptr[i], A.indptr[i + 1]
+        acols, avals = A.indices[lo:hi], A.data[lo:hi]
+        diag = avals[acols == i].sum() or 1.0
+        strong = set(Sr.indices[Sr.indptr[i] : Sr.indptr[i + 1]].tolist())
+        c_strong = [j for j in strong if cmask[j]]
+        if not c_strong:
+            continue  # F-point with no coarse influence: injected as zero row
+        if method == "one_point":
+            # strongest coarse neighbour, weight 1
+            best, bv = c_strong[0], 0.0
+            for j, v in zip(acols, avals):
+                if j in c_strong and -v > bv:
+                    best, bv = j, -v
+            rows.append(i)
+            cols.append(cmap[best])
+            vals.append(1.0)
+            continue
+        a_row = dict(zip(acols.tolist(), avals.tolist()))
+        if method == "classical":
+            # distribute strong F-neighbours over shared coarse points
+            a_eff = dict(a_row)
+            for k in strong:
+                if cmask[k] or k == i:
+                    continue
+                a_ik = a_row.get(k, 0.0)
+                klo, khi = A.indptr[k], A.indptr[k + 1]
+                kcols, kvals = A.indices[klo:khi], A.data[klo:khi]
+                shared = [(j, v) for j, v in zip(kcols, kvals) if cmap[j] >= 0 and j in c_strong]
+                denom = sum(v for _, v in shared)
+                if denom == 0.0 or not shared:
+                    a_eff[i] = a_eff.get(i, 0.0) + a_ik  # lump into diagonal
+                else:
+                    for j, v in shared:
+                        a_eff[j] = a_eff.get(j, 0.0) + a_ik * v / denom
+                a_eff.pop(k, None)
+            a_row = a_eff
+            diag = a_row.get(i, diag)
+        total = sum(v for j, v in a_row.items() if j != i)
+        c_sum = sum(a_row.get(j, 0.0) for j in c_strong)
+        if c_sum == 0.0 or diag == 0.0:
+            continue
+        scale = total / c_sum
+        w = {j: -scale * a_row.get(j, 0.0) / diag for j in c_strong}
+        # truncation + max-elements cap, then rescale to preserve row sum
+        wmax = max(abs(v) for v in w.values()) if w else 0.0
+        kept = {j: v for j, v in w.items() if abs(v) >= trunc_factor * wmax}
+        if p_max_elmts and len(kept) > p_max_elmts:
+            order = sorted(kept, key=lambda j: -abs(kept[j]))[: int(p_max_elmts)]
+            kept = {j: kept[j] for j in order}
+        if not kept:
+            continue
+        ssum = sum(w.values())
+        ksum = sum(kept.values())
+        rescale = ssum / ksum if ksum != 0 else 1.0
+        for j, v in kept.items():
+            rows.append(i)
+            cols.append(cmap[j])
+            vals.append(v * rescale)
+    P = sparse.coo_matrix((vals, (rows, cols)), shape=(n, cidx.shape[0])).tocsr()
+    return P
+
+
+@dataclasses.dataclass
+class Level:
+    """One multigrid level: operator, prolongation to it, and smoother data."""
+
+    A: sparse.csr_matrix
+    P: Optional[sparse.csr_matrix]  # None on the coarsest level
+    diag: np.ndarray
+    l1_diag: np.ndarray
+
+
+class AMGHierarchy:
+    """A built AMG hierarchy with V-cycle application.
+
+    Parameters
+    ----------
+    levels:
+        Fine-to-coarse :class:`Level` list.
+    relax_type, relax_weight, outer_weight, sweeps:
+        Smoother configuration shared by all levels.
+    cycle_type:
+        ``"V"`` (default) or ``"W"`` — W-cycles recurse twice per level,
+        trading extra coarse-grid work for faster convergence on hard
+        problems (a real BoomerAMG option).
+    """
+
+    def __init__(
+        self,
+        levels: List[Level],
+        relax_type: str = "jacobi",
+        relax_weight: float = 0.8,
+        outer_weight: float = 1.0,
+        sweeps: int = 1,
+        cycle_type: str = "V",
+    ):
+        if not levels:
+            raise ValueError("empty hierarchy")
+        if relax_type not in RELAX_CHOICES:
+            raise ValueError(f"unknown relax_type {relax_type!r}; know {RELAX_CHOICES}")
+        if cycle_type not in ("V", "W"):
+            raise ValueError(f"cycle_type must be 'V' or 'W', got {cycle_type!r}")
+        self.levels = levels
+        self.relax_type = relax_type
+        self.relax_weight = float(relax_weight)
+        self.outer_weight = float(outer_weight)
+        self.sweeps = max(1, int(sweeps))
+        self.cycle_type = cycle_type
+        Ac = levels[-1].A.tocsc()
+        # sparse LU when the coarse grid is healthy; dense pseudo-inverse as
+        # the fallback for singular corner cases (e.g. all-weak strength)
+        try:
+            from scipy.sparse.linalg import splu
+
+            lu = splu(Ac + 1e-12 * sparse.identity(Ac.shape[0], format="csc"))
+            self._coarse_solve = lu.solve
+        except Exception:
+            pinv = np.linalg.pinv(Ac.toarray())
+            self._coarse_solve = lambda b: pinv @ b
+
+    # -- complexities (the standard AMG quality metrics) -----------------
+    @property
+    def n_levels(self) -> int:
+        """Number of levels in the hierarchy (fine grid included)."""
+        return len(self.levels)
+
+    @property
+    def grid_complexity(self) -> float:
+        """Σ level sizes / fine size."""
+        n0 = self.levels[0].A.shape[0]
+        return sum(lv.A.shape[0] for lv in self.levels) / max(n0, 1)
+
+    @property
+    def operator_complexity(self) -> float:
+        """Σ level nnz / fine nnz — the work multiplier per cycle."""
+        nnz0 = self.levels[0].A.nnz
+        return sum(lv.A.nnz for lv in self.levels) / max(nnz0, 1)
+
+    # -- smoothing ---------------------------------------------------------
+    def _smooth(self, lv: Level, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        A, w = lv.A, self.relax_weight
+        for _ in range(self.sweeps):
+            if self.relax_type == "jacobi":
+                x = x + w * (b - A @ x) / lv.diag
+            elif self.relax_type == "l1_jacobi":
+                x = x + w * (b - A @ x) / lv.l1_diag
+            elif self.relax_type in ("gauss_seidel", "sor"):
+                omega = w if self.relax_type == "sor" else 1.0
+                L = sparse.tril(A, format="csr")
+                # (D/ω + L_strict) x_new = b − U x  with standard SOR split
+                M = sparse.tril(A, k=-1, format="csr") + sparse.diags(lv.diag / omega)
+                r = b - A @ x
+                dx = spsolve_triangular(M.tocsr(), r, lower=True)
+                x = x + self.outer_weight * dx
+                del L
+        return x
+
+    def vcycle(self, b: np.ndarray, level: int = 0) -> np.ndarray:
+        """One V- or W-(sweeps, sweeps) cycle for ``A x = b``, zero guess."""
+        lv = self.levels[level]
+        if level == self.n_levels - 1:
+            return np.asarray(self._coarse_solve(b), dtype=float)
+        x = self._smooth(lv, np.zeros_like(b), b)
+        recursions = 2 if self.cycle_type == "W" else 1
+        for _ in range(recursions):
+            r = b - lv.A @ x
+            rc = lv.P.T @ r
+            xc = self.vcycle(rc, level + 1)
+            x = x + lv.P @ xc
+        return self._smooth(lv, x, b)
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        """Preconditioner interface for GMRES: apply one V-cycle."""
+        return self.vcycle(np.asarray(b, dtype=float))
+
+
+def build_hierarchy(
+    A: sparse.csr_matrix,
+    strong_threshold: float = 0.25,
+    max_row_sum: float = 0.9,
+    coarsen_type: str = "RS",
+    interp_type: str = "classical",
+    trunc_factor: float = 0.0,
+    p_max_elmts: int = 4,
+    agg_num_levels: int = 0,
+    relax_type: str = "jacobi",
+    relax_weight: float = 0.8,
+    outer_weight: float = 1.0,
+    sweeps: int = 1,
+    cycle_type: str = "V",
+    max_levels: int = 12,
+    coarse_size: int = 40,
+    seed: int = 0,
+) -> AMGHierarchy:
+    """Set up a BoomerAMG-like hierarchy with the 10 solver parameters.
+
+    Coarsening stops at ``coarse_size`` unknowns or when it stagnates.
+    """
+    rng = np.random.default_rng(seed)
+    A = sparse.csr_matrix(A).astype(float)
+    levels: List[Level] = []
+    for lvl in range(max_levels):
+        diag = A.diagonal().copy()
+        diag[diag == 0] = 1.0
+        l1 = np.asarray(np.abs(A).sum(axis=1)).ravel()
+        l1[l1 == 0] = 1.0
+        if A.shape[0] <= coarse_size or lvl == max_levels - 1:
+            levels.append(Level(A=A, P=None, diag=diag, l1_diag=l1))
+            break
+        S = strength_graph(A, strong_threshold, max_row_sum)
+        cmask = coarsen(S, coarsen_type, rng, aggressive=lvl < agg_num_levels)
+        if cmask.sum() >= A.shape[0]:  # no coarsening achieved: stop here
+            levels.append(Level(A=A, P=None, diag=diag, l1_diag=l1))
+            break
+        P = interpolation(A, S, cmask, interp_type, trunc_factor, p_max_elmts)
+        levels.append(Level(A=A, P=P, diag=diag, l1_diag=l1))
+        A = sparse.csr_matrix(P.T @ A @ P)
+        A.eliminate_zeros()
+        if A.shape[0] == 0:
+            break
+    else:  # pragma: no cover - loop always breaks
+        pass
+    if levels[-1].P is not None:
+        last = levels[-1]
+        levels[-1] = Level(A=last.A, P=None, diag=last.diag, l1_diag=last.l1_diag)
+    return AMGHierarchy(
+        levels,
+        relax_type=relax_type,
+        relax_weight=relax_weight,
+        outer_weight=outer_weight,
+        sweeps=sweeps,
+        cycle_type=cycle_type,
+    )

@@ -1,0 +1,131 @@
+"""Restarted GMRES, from scratch.
+
+The Krylov solver wrapped around the AMG preconditioner in the hypre
+experiments.  Right-preconditioned GMRES(m) with modified Gram–Schmidt
+Arnoldi and Givens-rotation least squares — the same algorithmic shape as
+hypre's GMRES driver.  Returns the iteration count the simulator prices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["GMRESResult", "gmres"]
+
+
+@dataclasses.dataclass
+class GMRESResult:
+    """Outcome of a GMRES solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Total inner iterations (matvec + preconditioner applications).
+    residual_norm:
+        Final relative residual ``‖b − Ax‖ / ‖b‖``.
+    converged:
+        Whether the tolerance was met within the iteration cap.
+    """
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def gmres(
+    A: sparse.spmatrix,
+    b: np.ndarray,
+    M: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    rtol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int = 200,
+    x0: Optional[np.ndarray] = None,
+) -> GMRESResult:
+    """Right-preconditioned restarted GMRES for ``A x = b``.
+
+    Parameters
+    ----------
+    A:
+        Sparse system matrix.
+    b:
+        Right-hand side.
+    M:
+        Preconditioner application ``z = M(v)`` (e.g. one AMG V-cycle);
+        identity when None.
+    rtol:
+        Relative residual tolerance.
+    restart:
+        Krylov dimension m of GMRES(m).
+    maxiter:
+        Cap on total inner iterations.
+    x0:
+        Initial guess (zero by default).
+    """
+    A = sparse.csr_matrix(A)
+    b = np.asarray(b, dtype=float).ravel()
+    n = b.shape[0]
+    if A.shape != (n, n):
+        raise ValueError("A/b dimension mismatch")
+    M = M or (lambda v: v)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+    bnorm = np.linalg.norm(b)
+    if bnorm == 0.0:
+        return GMRESResult(x=np.zeros(n), iterations=0, residual_norm=0.0, converged=True)
+
+    total_iters = 0
+    while total_iters < maxiter:
+        r = b - A @ x
+        beta = np.linalg.norm(r)
+        if beta / bnorm <= rtol:
+            return GMRESResult(x, total_iters, beta / bnorm, True)
+        m = min(restart, maxiter - total_iters)
+        V = np.zeros((n, m + 1))
+        Z = np.zeros((n, m))
+        H = np.zeros((m + 1, m))
+        cs, sn = np.zeros(m), np.zeros(m)
+        g = np.zeros(m + 1)
+        V[:, 0] = r / beta
+        g[0] = beta
+        k_done = 0
+        for k in range(m):
+            Z[:, k] = M(V[:, k])
+            w = A @ Z[:, k]
+            for i in range(k + 1):  # modified Gram-Schmidt
+                H[i, k] = w @ V[:, i]
+                w -= H[i, k] * V[:, i]
+            H[k + 1, k] = np.linalg.norm(w)
+            if H[k + 1, k] > 1e-14:
+                V[:, k + 1] = w / H[k + 1, k]
+            # apply stored Givens rotations to the new column
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            denom = np.hypot(H[k, k], H[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_done = k + 1
+            if abs(g[k + 1]) / bnorm <= rtol or not np.isfinite(g[k + 1]):
+                break
+        # solve the small triangular system and update
+        y = np.linalg.lstsq(H[:k_done, :k_done], g[:k_done], rcond=None)[0]
+        x = x + Z[:, :k_done] @ y
+        if not np.all(np.isfinite(x)):
+            return GMRESResult(np.zeros(n), total_iters, np.inf, False)
+    r = b - A @ x
+    res = float(np.linalg.norm(r) / bnorm)
+    return GMRESResult(x, total_iters, res, res <= rtol)

@@ -1,0 +1,246 @@
+"""hypre (BoomerAMG-preconditioned GMRES) tuning application.
+
+Sec. 6.2: a task is a structured 3-D Poisson grid ``t = [n1, n2, n3]``; the
+solver runs on a 3-D process grid ``p = p1 × p2 × p3``, and "in addition to
+the process grid, we consider a total of 12 tuning parameters of integer and
+real types, including choice of coarsening algorithms, smoothers and
+interpolation operators, and their corresponding parameters".
+
+The 12 parameters here:
+
+====================  ===========  ===============================================
+parameter             type         meaning (BoomerAMG analogue)
+====================  ===========  ===============================================
+``p1``, ``p2``        integer      process grid dims (``p3 = ⌊p/(p1·p2)⌋``)
+``strong_threshold``  real         strength-of-connection θ
+``max_row_sum``       real         diagonal-dominance cutoff
+``coarsen_type``      categorical  RS / PMIS / HMIS
+``interp_type``       categorical  direct / classical / one_point
+``trunc_factor``      real         interpolation truncation
+``P_max_elmts``       integer      interpolation max elements per row
+``agg_num_levels``    integer      aggressive-coarsening levels
+``relax_type``        categorical  Jacobi / GS / SOR / ℓ1-Jacobi
+``relax_weight``      real         smoother weight ω
+``smooth_sweeps``     integer      pre/post sweeps per level
+====================  ===========  ===============================================
+
+The *convergence* part of the objective is measured by really running our
+AMG + GMRES on a (downscaled) grid; the *cost* part prices setup plus
+``iterations`` cycles at the full task size on the machine model: AMG
+cycles are memory-bandwidth bound (operator complexity × fine nnz words)
+with halo exchanges on the 3-D process grid per level, so a bad process
+grid or an operator-complexity blowup costs real simulated time even when
+iteration counts look fine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ...core.params import Categorical, Integer, Real
+from ...core.space import Space
+from ..base import Application, noise_rng
+from .amg import COARSEN_CHOICES, INTERP_CHOICES, RELAX_CHOICES, build_hierarchy, poisson3d
+from .gmres import gmres
+
+__all__ = ["HypreApp"]
+
+
+class HypreApp(Application):
+    """AMG-preconditioned GMRES runtime simulator on 3-D Poisson tasks.
+
+    Parameters
+    ----------
+    grid_range:
+        Bounds of each task grid dimension (paper: 10 ≤ n_i ≤ 100).
+    solve_cap:
+        Maximum unknowns actually solved; larger tasks are proportionally
+        downscaled for the convergence measurement (DESIGN.md substitution).
+    rtol:
+        GMRES relative tolerance.
+    maxiter:
+        GMRES iteration cap; non-converged runs are charged the cap plus a
+        divergence penalty.
+    noise:
+        σ of the lognormal measurement noise.
+    """
+
+    name = "hypre"
+    n_objectives = 1
+    objective_names = ("runtime",)
+
+    def __init__(
+        self,
+        grid_range: Tuple[int, int] = (10, 100),
+        solve_cap: int = 2744,  # 14³
+        rtol: float = 1e-8,
+        maxiter: int = 100,
+        noise: float = 0.03,
+        **kw,
+    ):
+        super().__init__(**kw)
+        self.grid_range = (int(grid_range[0]), int(grid_range[1]))
+        self.solve_cap = int(solve_cap)
+        self.rtol = float(rtol)
+        self.maxiter = int(maxiter)
+        self.noise = float(noise)
+        self.p_max = self.machine.total_cores
+        self._solve_cache: Dict[Tuple, Tuple[int, float, int, bool]] = {}
+
+    # -- spaces ----------------------------------------------------------
+    def task_space(self) -> Space:
+        lo, hi = self.grid_range
+        return Space([Integer("n1", lo, hi), Integer("n2", lo, hi), Integer("n3", lo, hi)])
+
+    def tuning_space(self) -> Space:
+        p_total = self.p_max
+
+        def grid_fits(p1, p2):
+            # the 3-D process grid p1 × p2 × p3 must fit the allocation
+            return p1 * p2 <= p_total
+
+        return Space(
+            [
+                Integer("p1", 1, self.p_max, transform="log"),
+                Integer("p2", 1, self.p_max, transform="log"),
+                Real("strong_threshold", 0.05, 0.9),
+                Real("max_row_sum", 0.5, 1.0),
+                Categorical("coarsen_type", list(COARSEN_CHOICES)),
+                Categorical("interp_type", list(INTERP_CHOICES)),
+                Real("trunc_factor", 0.0, 0.5),
+                Integer("P_max_elmts", 2, 12),
+                Integer("agg_num_levels", 0, 3),
+                Categorical("relax_type", list(RELAX_CHOICES)),
+                Real("relax_weight", 0.3, 1.3),
+                Integer("smooth_sweeps", 1, 3),
+            ],
+            constraints=[grid_fits],
+        )
+
+    def default_config(self, task: Mapping[str, Any]) -> Dict[str, Any]:
+        """BoomerAMG-ish defaults (hypre's documented out-of-the-box values)."""
+        p1 = max(1, int(round(self.p_max ** (1.0 / 3.0))))
+        return {
+            "p1": p1,
+            "p2": p1,
+            "strong_threshold": 0.25,
+            "max_row_sum": 0.9,
+            "coarsen_type": "PMIS",
+            "interp_type": "classical",
+            "trunc_factor": 0.0,
+            "P_max_elmts": 4,
+            "agg_num_levels": 0,
+            "relax_type": "gauss_seidel",
+            "relax_weight": 1.0,
+            "smooth_sweeps": 1,
+        }
+
+    # -- objective -----------------------------------------------------------
+    def _scaled_dims(self, task: Mapping[str, Any]) -> Tuple[int, int, int]:
+        dims = np.array([int(task["n1"]), int(task["n2"]), int(task["n3"])], dtype=float)
+        total = float(np.prod(dims))
+        if total <= self.solve_cap:
+            return tuple(int(d) for d in dims)
+        f = (self.solve_cap / total) ** (1.0 / 3.0)
+        return tuple(max(4, int(round(d * f))) for d in dims)
+
+    def _solve_key(self, dims: Tuple[int, int, int], config: Mapping[str, Any]) -> Tuple:
+        solver_keys = (
+            "strong_threshold",
+            "max_row_sum",
+            "coarsen_type",
+            "interp_type",
+            "trunc_factor",
+            "P_max_elmts",
+            "agg_num_levels",
+            "relax_type",
+            "relax_weight",
+            "smooth_sweeps",
+        )
+        return dims + tuple(
+            round(config[k], 4) if isinstance(config[k], float) else config[k]
+            for k in solver_keys
+        )
+
+    def _measure(self, dims: Tuple[int, int, int], config: Mapping[str, Any]):
+        """Run the real AMG+GMRES; returns (iters, op_complexity, levels, ok)."""
+        key = self._solve_key(dims, config)
+        if key not in self._solve_cache:
+            A = poisson3d(*dims)
+            try:
+                H = build_hierarchy(
+                    A,
+                    strong_threshold=float(config["strong_threshold"]),
+                    max_row_sum=float(config["max_row_sum"]),
+                    coarsen_type=config["coarsen_type"],
+                    interp_type=config["interp_type"],
+                    trunc_factor=float(config["trunc_factor"]),
+                    p_max_elmts=int(config["P_max_elmts"]),
+                    agg_num_levels=int(config["agg_num_levels"]),
+                    relax_type=config["relax_type"],
+                    relax_weight=float(config["relax_weight"]),
+                    outer_weight=1.0,
+                    sweeps=int(config["smooth_sweeps"]),
+                    seed=self.seed,
+                )
+                rng = np.random.default_rng(self.seed)
+                b = rng.normal(size=A.shape[0])
+                res = gmres(A, b, M=H, rtol=self.rtol, maxiter=self.maxiter)
+                self._solve_cache[key] = (
+                    int(res.iterations),
+                    float(H.operator_complexity),
+                    int(H.n_levels),
+                    bool(res.converged),
+                )
+            except Exception:
+                self._solve_cache[key] = (self.maxiter, 4.0, 2, False)
+        return self._solve_cache[key]
+
+    def run(self, task: Mapping[str, Any], config: Mapping[str, Any], repeat: int) -> float:
+        dims = self._scaled_dims(task)
+        iters, opcx, n_levels, converged = self._measure(dims, config)
+
+        n1, n2, n3 = int(task["n1"]), int(task["n2"]), int(task["n3"])
+        nnz = 7.0 * n1 * n2 * n3
+        mach = self.machine
+        p1, p2 = int(config["p1"]), int(config["p2"])
+        p3 = max(1, self.p_max // (p1 * p2))
+        p_used = p1 * p2 * p3
+        sweeps = int(config["smooth_sweeps"])
+
+        # per-cycle compute: smoothing + residual + transfers over all levels,
+        # memory-bandwidth bound (12 bytes per nonzero touched per sweep)
+        work_bytes = 12.0 * nnz * opcx * (2 * sweeps + 1)
+        t_cycle_comp = work_bytes / (mach.mem_bandwidth * mach.nodes) * (
+            self.p_max / max(p_used, 1)
+        ) ** 0.5  # idle processes waste bandwidth share
+
+        # halo exchange per level: 6 faces; the local subdomain of the task
+        # grid on the p1×p2×p3 grid; coarse levels shrink geometrically
+        face = (n1 / p1) * (n2 / p2) + (n1 / p1) * (n3 / p3) + (n2 / p2) * (n3 / p3)
+        imbalance = self._grid_imbalance(n1, n2, n3, p1, p2, p3)
+        t_cycle_comm = n_levels * (
+            6.0 * mach.latency * (2 * sweeps + 1) + 2.0 * 8.0 * face * mach.inv_bandwidth
+        )
+        t_cycle = (t_cycle_comp + t_cycle_comm) * imbalance
+
+        # GMRES adds a matvec + orthogonalization per iteration
+        t_iter = t_cycle + 16.0 * nnz / (mach.mem_bandwidth * mach.nodes)
+        t_setup = 3.0 * opcx * 40.0 * nnz / (mach.flops_per_core * p_used)
+
+        penalty = 1.0 if converged else 3.0
+        base = (t_setup + iters * t_iter) * penalty + 1e-4
+        rng = noise_rng(self.seed + repeat, task, config)
+        return float(base * math.exp(rng.normal(0.0, self.noise)))
+
+    @staticmethod
+    def _grid_imbalance(n1, n2, n3, p1, p2, p3) -> float:
+        """Penalty when the process grid splits a dimension unevenly."""
+        r = 1.0
+        for n, p in ((n1, p1), (n2, p2), (n3, p3)):
+            local = math.ceil(n / p)
+            r *= (local * p) / n
+        return r**0.5

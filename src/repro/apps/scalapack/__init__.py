@@ -1,0 +1,8 @@
+"""ScaLAPACK application simulators: PDGEQRF (dense QR) and PDSYEVX
+(symmetric eigensolver), with the Eq. (8)–(10) cost counts."""
+
+from . import costs
+from .qr import PDGEQRF
+from .syevx import PDSYEVX
+
+__all__ = ["PDGEQRF", "PDSYEVX", "costs"]

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Exposes the library's common flows without writing Python, matching the
+artifact appendix's "run one script, read Popt/Oopt" experience::
+
+    python -m repro.cli list-apps
+    python -m repro.cli tune --app analytical --tasks 0,2,4 --samples 20
+    python -m repro.cli tune --app pdgeqrf --nodes 4 --samples 10 --seed 1
+    python -m repro.cli compare --app superlu_dist --samples 12
+    python -m repro.cli sensitivity --app hypre --samples 16
+
+``tune`` prints the optimal configuration ("Popt") and objective ("Oopt")
+per task plus the Tab. 3-style phase breakdown ("stats:").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .apps import M3DC1, NIMROD, AnalyticalApp, HypreApp, PDGEQRF, PDSYEVX, SuperLUDIST
+from .core import GPTune, Options, surrogate_sensitivity
+from .core.metrics import mean_stability, win_task
+from .runtime import cori_haswell
+from .tuners import HpBandSterTuner, OpenTunerTuner, RandomSearchTuner, YtoptTuner
+
+__all__ = ["main", "build_app", "APPS"]
+
+APPS = {
+    "analytical": AnalyticalApp,
+    "pdgeqrf": PDGEQRF,
+    "pdsyevx": PDSYEVX,
+    "superlu_dist": SuperLUDIST,
+    "hypre": HypreApp,
+    "m3dc1": M3DC1,
+    "nimrod": NIMROD,
+}
+
+
+def build_app(name: str, nodes: int, seed: int):
+    """Instantiate an application on an ``nodes``-node Cori model."""
+    if name not in APPS:
+        raise SystemExit(f"unknown app {name!r}; known: {', '.join(sorted(APPS))}")
+    kwargs: Dict[str, Any] = {"machine": cori_haswell(nodes), "seed": seed}
+    if name == "hypre":
+        kwargs["solve_cap"] = 1000
+    if name in ("m3dc1", "nimrod"):
+        kwargs["plane_size"] = 300
+    return APPS[name](**kwargs)
+
+
+def _parse_tasks(app, spec: Optional[str], n_random: int, seed: int) -> List[Dict[str, Any]]:
+    if spec:
+        space = app.task_space()
+        tasks = []
+        for chunk in spec.split(";"):
+            vals = [v.strip() for v in chunk.split(",")]
+            coerced: List[Any] = []
+            for v in vals:
+                try:
+                    coerced.append(int(v))
+                except ValueError:
+                    try:
+                        coerced.append(float(v))
+                    except ValueError:
+                        coerced.append(v)
+            tasks.append(space.to_dict(coerced))
+        return tasks
+    return app.sample_tasks(n_random, seed=seed)
+
+
+def _cmd_list_apps(_args) -> int:
+    for name, cls in sorted(APPS.items()):
+        app = cls() if name != "hypre" else cls(solve_cap=512)
+        print(f"{name:14s} β={app.tuning_space().dimension:<3} "
+              f"tasks={app.task_space().names} γ={app.n_objectives}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    app = build_app(args.app, args.nodes, args.seed)
+    tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
+    opts = Options(seed=args.seed, n_start=args.n_start, verbose=args.verbose)
+    result = GPTune(app.problem(with_models=args.models), opts).tune(tasks, args.samples)
+    for i, t in enumerate(tasks):
+        cfg, val = result.best(i)
+        print(f"task {json.dumps(t)}")
+        print(f"  Popt: {json.dumps(cfg)}")
+        print(f"  Oopt: {val:.6g}")
+    s = result.stats
+    print(
+        f"stats: total {s['total_time']:.4g}  objective {s['objective_time']:.4g}  "
+        f"modeling {s['modeling_time']:.4g}  search {s['search_time']:.4g}"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.data.to_records(), fh, indent=2)
+        print(f"archived {len(result.data)} evaluations to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    app = build_app(args.app, args.nodes, args.seed)
+    tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
+    prob = app.problem()
+    opts = Options(seed=args.seed, n_start=args.n_start)
+
+    mla = GPTune(prob, opts).tune(tasks, args.samples)
+    gpt = mla.best_values()
+    gpt_traj = [[y[0] for y in mla.data.Y[i]] for i in range(len(tasks))]
+    baselines = {
+        "opentuner": OpenTunerTuner(),
+        "hpbandster": HpBandSterTuner(),
+        "ytopt": YtoptTuner(),
+        "random": RandomSearchTuner(),
+    }
+    results = {"gptune": gpt}
+    trajs = {"gptune": gpt_traj}
+    for name, tuner in baselines.items():
+        recs = [tuner.tune(prob, t, args.samples, seed=args.seed + 37 + i)
+                for i, t in enumerate(tasks)]
+        results[name] = np.array([r.best()[1] for r in recs])
+        trajs[name] = [r.values[:, 0] for r in recs]
+
+    y_star = np.min(np.vstack(list(results.values())), axis=0)
+    print(f"{'tuner':>12} {'mean best':>12} {'WinTask(GPTune vs)':>20} {'stability':>10}")
+    for name, best in results.items():
+        wt = "-" if name == "gptune" else f"{100 * win_task(gpt, best):.0f}%"
+        stab = mean_stability(trajs[name], y_star)
+        print(f"{name:>12} {float(np.mean(best)):>12.5g} {wt:>20} {stab:>10.3f}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    app = build_app(args.app, args.nodes, args.seed)
+    tasks = _parse_tasks(app, args.tasks, 1, args.seed)
+    opts = Options(seed=args.seed, n_start=args.n_start)
+    result = GPTune(app.problem(), opts).tune(tasks[:1], args.samples)
+    sens = surrogate_sensitivity(result.models[0], result.data, task=0, seed=args.seed)
+    print(f"sensitivity for task {json.dumps(tasks[0])} ({args.samples} samples):")
+    print(f"{'parameter':>18} {'S1':>8} {'ST':>8}")
+    for name, idx in sens.items():
+        print(f"{name:>18} {idx['S1']:>8.3f} {idx['ST']:>8.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list tunable applications")
+
+    def common(p):
+        p.add_argument("--app", required=True, choices=sorted(APPS))
+        p.add_argument("--tasks", help="semicolon-separated task tuples, e.g. '4000,4000;8000,2000'")
+        p.add_argument("--random-tasks", type=int, default=2, help="random task count when --tasks absent")
+        p.add_argument("--samples", type=int, default=10, help="ε_tot per task")
+        p.add_argument("--nodes", type=int, default=1, help="Cori nodes in the machine model")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--n-start", type=int, default=2, help="L-BFGS restarts")
+
+    p_tune = sub.add_parser("tune", help="run multitask MLA")
+    common(p_tune)
+    p_tune.add_argument("--models", action="store_true", help="attach coarse performance models")
+    p_tune.add_argument("--verbose", action="store_true")
+    p_tune.add_argument("--output", help="archive evaluations to a JSON file")
+
+    p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")
+    common(p_cmp)
+
+    p_sens = sub.add_parser("sensitivity", help="Sobol indices of the fitted surrogate")
+    common(p_sens)
+
+    args = parser.parse_args(argv)
+    if args.command == "list-apps":
+        return _cmd_list_apps(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    raise AssertionError  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""GPTune core: spaces, surrogates, acquisition, and the MLA driver."""
+
+from .acquisition import EIAcquisition, expected_improvement
+from .data import TuningData
+from .gp import GaussianProcess
+from .history import HistoryDB
+from .lcm import LCM, LCMParams
+from .metrics import (
+    dominates,
+    hypervolume_2d,
+    mean_stability,
+    pareto_mask,
+    stability,
+    win_task,
+)
+from .mla import GPTune, TuneResult
+from .options import Options
+from .params import Categorical, Integer, Parameter, Real
+from .perfmodel import (
+    CallableModel,
+    LinearPerformanceModel,
+    ModelFeaturizer,
+    PerformanceModel,
+)
+from .problem import TuningProblem
+from .sampling import LHSSampler, RandomSampler, lhs_unit, sample_feasible
+from .search import NSGA2, ParticleSwarm
+from .sensitivity import sobol_indices, surrogate_sensitivity
+from .space import Constraint, Space
+from .tla import TransferLearner
+from .validation import loo_diagnostics, loo_residuals
+
+__all__ = [
+    "Categorical",
+    "CallableModel",
+    "Constraint",
+    "EIAcquisition",
+    "GaussianProcess",
+    "GPTune",
+    "HistoryDB",
+    "Integer",
+    "LCM",
+    "LCMParams",
+    "LHSSampler",
+    "LinearPerformanceModel",
+    "ModelFeaturizer",
+    "NSGA2",
+    "Options",
+    "Parameter",
+    "ParticleSwarm",
+    "PerformanceModel",
+    "RandomSampler",
+    "Real",
+    "Space",
+    "TransferLearner",
+    "TuneResult",
+    "TuningData",
+    "TuningProblem",
+    "sobol_indices",
+    "surrogate_sensitivity",
+    "dominates",
+    "expected_improvement",
+    "hypervolume_2d",
+    "lhs_unit",
+    "loo_diagnostics",
+    "loo_residuals",
+    "mean_stability",
+    "pareto_mask",
+    "sample_feasible",
+    "stability",
+    "win_task",
+]

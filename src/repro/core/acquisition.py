@@ -1,0 +1,84 @@
+"""Acquisition functions for the search phase.
+
+The search phase of Algorithm 1 maximizes *Expected Improvement* (EI) over
+the posterior of the LCM, task by task.  For minimization with incumbent
+``y_best``,
+
+.. math::
+
+    EI(x) = (y_{best} - \\mu(x))\\,\\Phi(z) + \\sigma(x)\\,\\phi(z),
+    \\qquad z = (y_{best} - \\mu(x)) / \\sigma(x),
+
+which balances exploitation (low predicted mean) and exploration (high
+predicted variance).  A small helper also provides the scalarized
+Pareto-improvement score used to rank candidates in multi-objective mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["expected_improvement", "EIAcquisition"]
+
+
+def expected_improvement(mu: np.ndarray, var: np.ndarray, y_best: float) -> np.ndarray:
+    """Vectorized EI for minimization.
+
+    Parameters
+    ----------
+    mu, var:
+        Posterior mean and variance at the candidate points.
+    y_best:
+        Incumbent (best observed) objective value.
+
+    Points with (numerically) zero variance get the deterministic
+    improvement ``max(y_best - mu, 0)``.
+    """
+    mu = np.asarray(mu, dtype=float)
+    sigma = np.sqrt(np.maximum(np.asarray(var, dtype=float), 0.0))
+    imp = y_best - mu
+    out = np.maximum(imp, 0.0)
+    pos = sigma > 1e-12
+    z = imp[pos] / sigma[pos]
+    out = out.astype(float)
+    out[pos] = imp[pos] * stats.norm.cdf(z) + sigma[pos] * stats.norm.pdf(z)
+    return np.maximum(out, 0.0)
+
+
+class EIAcquisition:
+    """EI bound to one task of a fitted surrogate.
+
+    Parameters
+    ----------
+    predict:
+        Callable ``(N*, β) -> (mu, var)`` — e.g.
+        ``functools.partial(lcm.predict, task)``.
+    y_best:
+        Incumbent objective value (in the surrogate's transformed units).
+    feasibility:
+        Optional vectorized predicate over normalized points; infeasible
+        candidates are assigned EI = -inf so optimizers avoid them.
+    """
+
+    def __init__(
+        self,
+        predict: Callable[[np.ndarray], tuple],
+        y_best: float,
+        feasibility: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        self.predict = predict
+        self.y_best = float(y_best)
+        self.feasibility = feasibility
+
+    def __call__(self, Xunit: np.ndarray) -> np.ndarray:
+        """EI at a batch of normalized points ``(N*, β)`` (higher is better)."""
+        Xunit = np.atleast_2d(np.asarray(Xunit, dtype=float))
+        mu, var = self.predict(Xunit)
+        ei = expected_improvement(mu, var, self.y_best)
+        if self.feasibility is not None:
+            ok = np.asarray(self.feasibility(Xunit), dtype=bool)
+            ei = np.where(ok, ei, -np.inf)
+        return ei

@@ -1,0 +1,169 @@
+"""Containers for multitask tuning data.
+
+Following Table 1 of the paper, a tuning run maintains
+
+* ``T ∈ IS^δ``     — the array of tasks under consideration,
+* ``X ∈ PS^{δ×ε}`` — the array of evaluated tuning parameter configurations,
+* ``Y ∈ OS^{δ×ε}`` — the corresponding outputs (e.g. runtimes).
+
+:class:`TuningData` stores these as per-task Python lists (the per-task sample
+counts may differ, e.g. in multi-objective mode where ``k`` points are added
+per iteration) together with helpers that flatten everything into the stacked
+normalized arrays consumed by the LCM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .space import Space
+
+__all__ = ["TuningData"]
+
+
+class TuningData:
+    """Samples and outputs for ``δ`` tasks of one tuning problem.
+
+    Parameters
+    ----------
+    task_space, tuning_space:
+        The ``IS`` and ``PS`` spaces; used for normalization.
+    tasks:
+        Native task values (mappings or positional sequences), one per task.
+    n_objectives:
+        Output dimension γ; every recorded output must have this length.
+    """
+
+    def __init__(
+        self,
+        task_space: Space,
+        tuning_space: Space,
+        tasks: Sequence[Any],
+        n_objectives: int = 1,
+    ):
+        self.task_space = task_space
+        self.tuning_space = tuning_space
+        self.tasks: List[Dict[str, Any]] = [task_space.to_dict(t) for t in tasks]
+        self.n_objectives = int(n_objectives)
+        if self.n_objectives < 1:
+            raise ValueError("need at least one objective")
+        self.X: List[List[Dict[str, Any]]] = [[] for _ in self.tasks]
+        self.Y: List[List[np.ndarray]] = [[] for _ in self.tasks]
+
+    # -- basic accessors ------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """δ — the number of tasks."""
+        return len(self.tasks)
+
+    def n_samples(self, task: Optional[int] = None) -> int:
+        """Evaluation count for one task, or the total over all tasks."""
+        if task is not None:
+            return len(self.X[task])
+        return sum(len(x) for x in self.X)
+
+    def __len__(self) -> int:
+        return self.n_samples()
+
+    # -- recording --------------------------------------------------------
+    def add(self, task: int, x: Mapping[str, Any], y: Any) -> None:
+        """Record one evaluation ``y(t_task, x)``.
+
+        ``y`` may be a scalar (γ=1) or a length-γ sequence.
+        """
+        yv = np.atleast_1d(np.asarray(y, dtype=float))
+        if yv.shape != (self.n_objectives,):
+            raise ValueError(
+                f"expected {self.n_objectives} objective value(s), got shape {yv.shape}"
+            )
+        self.X[task].append(self.tuning_space.to_dict(x))
+        self.Y[task].append(yv)
+
+    def extend(self, task: int, xs: Sequence[Mapping[str, Any]], ys: Sequence[Any]) -> None:
+        """Record a batch of evaluations for one task."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys length mismatch")
+        for x, y in zip(xs, ys):
+            self.add(task, x, y)
+
+    # -- best-so-far ------------------------------------------------------
+    def best(self, task: int, objective: int = 0) -> Tuple[Dict[str, Any], float]:
+        """Return ``(x*, y*)`` minimizing one objective for one task."""
+        if not self.Y[task]:
+            raise ValueError(f"task {task} has no samples")
+        ys = np.array([y[objective] for y in self.Y[task]])
+        i = int(np.argmin(ys))
+        return self.X[task][i], float(ys[i])
+
+    def best_trajectory(self, task: int, objective: int = 0) -> np.ndarray:
+        """Running minimum of one objective (the *anytime* performance curve)."""
+        ys = np.array([y[objective] for y in self.Y[task]], dtype=float)
+        return np.minimum.accumulate(ys)
+
+    def pareto_front(self, task: int) -> Tuple[List[Dict[str, Any]], np.ndarray]:
+        """Non-dominated ``(configs, objectives)`` for one task (minimization)."""
+        from .metrics import pareto_mask
+
+        if not self.Y[task]:
+            return [], np.empty((0, self.n_objectives))
+        Y = np.vstack(self.Y[task])
+        mask = pareto_mask(Y)
+        configs = [x for x, m in zip(self.X[task], mask) if m]
+        return configs, Y[mask]
+
+    # -- stacked views for the LCM ----------------------------------------
+    def stacked(self, objective: int = 0) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten all samples into LCM inputs.
+
+        Returns
+        -------
+        X_unit:
+            ``(N, β)`` normalized tuning parameter points, tasks concatenated.
+        y:
+            ``(N,)`` raw objective values for the selected objective.
+        task_index:
+            ``(N,)`` integer task id per row.
+        """
+        rows, ys, idx = [], [], []
+        for i, (xs, yvals) in enumerate(zip(self.X, self.Y)):
+            for x, y in zip(xs, yvals):
+                rows.append(self.tuning_space.normalize(x))
+                ys.append(y[objective])
+                idx.append(i)
+        if not rows:
+            beta = self.tuning_space.dimension
+            return np.empty((0, beta)), np.empty(0), np.empty(0, dtype=int)
+        return np.vstack(rows), np.asarray(ys, dtype=float), np.asarray(idx, dtype=int)
+
+    def normalized_tasks(self) -> np.ndarray:
+        """``(δ, α)`` normalized task parameter matrix."""
+        return self.task_space.normalize_many(self.tasks)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Flatten to JSON-serializable records (see :mod:`repro.core.history`)."""
+        recs = []
+        for i, task in enumerate(self.tasks):
+            for x, y in zip(self.X[i], self.Y[i]):
+                recs.append({"task": dict(task), "x": dict(x), "y": [float(v) for v in y]})
+        return recs
+
+    def load_records(self, records: Sequence[Mapping[str, Any]]) -> int:
+        """Merge archived records whose task matches one of ours.
+
+        Returns the number of records absorbed; foreign-task records are
+        ignored (they belong to a different MLA instance).
+        """
+        keyed = {self._task_key(t): i for i, t in enumerate(self.tasks)}
+        absorbed = 0
+        for rec in records:
+            key = self._task_key(self.task_space.to_dict(rec["task"]))
+            if key in keyed:
+                self.add(keyed[key], rec["x"], rec["y"])
+                absorbed += 1
+        return absorbed
+
+    def _task_key(self, task: Mapping[str, Any]) -> Tuple:
+        return tuple(repr(task[n]) for n in self.task_space.names)

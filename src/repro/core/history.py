@@ -1,0 +1,86 @@
+"""History database: archive and reuse tuning data across executions.
+
+One of GPTune's stated goals (Sec. 1, goal 3) is "archiving and reusing
+tuning data from multiple executions to allow tuning to improve over time".
+:class:`HistoryDB` is a small JSON-file database keyed by problem name.  A
+:class:`~repro.core.mla.GPTune` instance given a database will
+
+* load archived evaluations whose task matches one of its tasks (these count
+  as free initial samples — the modeling phase starts from them), and
+* append every new evaluation, so subsequent runs start warmer.
+
+The on-disk format is a single JSON object ``{problem_name: [records]}`` with
+records ``{"task": {...}, "x": {...}, "y": [floats]}``, matching
+:meth:`repro.core.data.TuningData.to_records`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = ["HistoryDB"]
+
+
+class HistoryDB:
+    """JSON-backed archive of function evaluations.
+
+    Parameters
+    ----------
+    path:
+        File path; created on first save.  The file is written atomically
+        (temp file + rename) so a crash cannot corrupt the archive.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._store: Dict[str, List[Dict[str, Any]]] = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+            if not isinstance(raw, dict):
+                raise ValueError(f"{self.path}: malformed history database")
+            self._store = {str(k): list(v) for k, v in raw.items()}
+
+    # -- queries -----------------------------------------------------------
+    def problems(self) -> List[str]:
+        """Names of problems with archived data."""
+        return sorted(self._store)
+
+    def records(self, problem: str) -> List[Dict[str, Any]]:
+        """All archived records for one problem (copy)."""
+        return [dict(r) for r in self._store.get(problem, [])]
+
+    def count(self, problem: str) -> int:
+        """Number of archived evaluations for one problem."""
+        return len(self._store.get(problem, []))
+
+    # -- updates ---------------------------------------------------------
+    def append(self, problem: str, records: Sequence[Mapping[str, Any]]) -> None:
+        """Append records and persist immediately."""
+        bucket = self._store.setdefault(problem, [])
+        for rec in records:
+            if not {"task", "x", "y"} <= set(rec):
+                raise ValueError(f"malformed record {rec!r}")
+            bucket.append({"task": dict(rec["task"]), "x": dict(rec["x"]), "y": list(rec["y"])})
+        self._flush()
+
+    def clear(self, problem: str) -> None:
+        """Drop all records for one problem."""
+        self._store.pop(problem, None)
+        self._flush()
+
+    def _flush(self) -> None:
+        d = os.path.dirname(os.path.abspath(self.path)) or "."
+        os.makedirs(d, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._store, fh)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -1,0 +1,341 @@
+"""Linear Coregionalization Model — the multitask GP at the heart of MLA.
+
+Implements Sec. 3.1 (modeling phase) of the paper.  With ``δ`` tasks and
+``Q ≤ δ`` independent latent GPs ``u_q`` (ARD Gaussian kernels ``k_q``,
+Eq. 3), the model of task ``i`` is ``f(t_i, x) = Σ_q a_{i,q} u_q(x)``
+(Eq. 1), giving the joint covariance over all stacked samples (Eq. 4):
+
+.. math::
+
+    \\Sigma(x_{i,j}, x_{i',j'}) = \\sum_{q=1}^{Q}
+        (a_{i,q} a_{i',q} + b_{i,q}\\,\\delta_{i,i'})\\, k_q(x_{i,j}, x_{i',j'})
+        + d_i\\,\\delta_{i,i'}\\delta_{j,j'}
+
+Hyperparameters — per-latent ARD lengthscales ``l_j^q``, task loadings
+``a_{i,q}``, task-specific kernel weights ``b_{i,q} ≥ 0`` and diagonal noise
+``d_i > 0`` (``σ_q`` fixed at 1) — are found by maximizing the log marginal
+likelihood with multi-start L-BFGS and *analytic* gradients, matching the
+reference implementation.  The multi-start loop can be distributed over an
+executor (Sec. 4.3, level-1 parallelism).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import linalg as sla
+from scipy import optimize
+
+from .kernels import gaussian_kernel, gaussian_kernel_with_grad, pairwise_sq_diffs
+
+__all__ = ["LCMParams", "LCM"]
+
+
+class LCMParams:
+    """Structured view of the flat hyperparameter vector.
+
+    Layout of ``theta`` (all optimizer variables are unconstrained):
+
+    * ``theta[0 : Q*β]``             — ``log l_j^q`` (latent-major),
+    * ``theta[Q*β : Q*β + δ*Q]``     — ``a_{i,q}`` (task-major),
+    * ``theta[… : … + δ*Q]``         — ``log b_{i,q}``,
+    * ``theta[-δ:]``                 — ``log d_i``.
+    """
+
+    def __init__(self, n_tasks: int, n_dims: int, n_latent: int):
+        self.delta, self.beta, self.Q = int(n_tasks), int(n_dims), int(n_latent)
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar hyperparameters."""
+        return self.Q * self.beta + 2 * self.delta * self.Q + self.delta
+
+    def unpack(self, theta: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Split ``theta`` into ``(lengthscales (Q,β), a (δ,Q), b (δ,Q), d (δ,))``."""
+        q, b, d = self.Q, self.beta, self.delta
+        i0 = q * b
+        ls = np.exp(theta[:i0]).reshape(q, b)
+        a = theta[i0 : i0 + d * q].reshape(d, q)
+        bw = np.exp(theta[i0 + d * q : i0 + 2 * d * q]).reshape(d, q)
+        dn = np.exp(theta[i0 + 2 * d * q :])
+        return ls, a, bw, dn
+
+    def pack(self, ls: np.ndarray, a: np.ndarray, bw: np.ndarray, dn: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`unpack` (takes natural-scale values)."""
+        return np.concatenate(
+            [np.log(ls).ravel(), a.ravel(), np.log(bw).ravel(), np.log(dn).ravel()]
+        )
+
+    def pack_grad(
+        self, g_ls: np.ndarray, g_a: np.ndarray, g_b: np.ndarray, g_d: np.ndarray
+    ) -> np.ndarray:
+        """Pack gradient blocks into the flat layout (mirrors :meth:`pack`)."""
+        return np.concatenate([g_ls.ravel(), g_a.ravel(), g_b.ravel(), g_d.ravel()])
+
+
+class LCM:
+    """Multitask GP surrogate with LCM covariance.
+
+    Parameters
+    ----------
+    n_tasks:
+        δ — number of tasks sharing the model.
+    n_dims:
+        β — dimension of the (normalized, possibly model-enriched) inputs.
+    n_latent:
+        Q — number of latent GPs; defaults to ``min(δ, 3)``.
+    jitter:
+        Diagonal regularization added before Cholesky factorization.
+    n_start:
+        Random restarts of the likelihood optimization; the best wins.
+    maxiter:
+        Per-restart L-BFGS-B iteration cap.
+    seed:
+        Seed for restart initialization.
+    executor:
+        Optional object with ``map(fn, iterable) -> list``; when given, the
+        restarts run through it (thread/process/simulated-MPI parallelism).
+    restart_offset:
+        First restart index; restart 0 uses a deterministic heuristic
+        initialization, higher indices draw random ones.  Distributed-memory
+        deployments give each rank a distinct offset so their single local
+        restarts differ (Sec. 4.3 level-1 parallelism).
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        n_dims: int,
+        n_latent: Optional[int] = None,
+        jitter: float = 1e-8,
+        n_start: int = 3,
+        maxiter: int = 200,
+        seed: Optional[int] = None,
+        executor=None,
+        restart_offset: int = 0,
+    ):
+        if n_tasks < 1 or n_dims < 1:
+            raise ValueError("need n_tasks >= 1 and n_dims >= 1")
+        Q = min(n_tasks, 3) if n_latent is None else int(n_latent)
+        if Q < 1 or Q > n_tasks:
+            raise ValueError(f"need 1 <= Q <= δ, got Q={Q}, δ={n_tasks}")
+        self.params = LCMParams(n_tasks, n_dims, Q)
+        self.jitter = float(jitter)
+        self.n_start = int(n_start)
+        self.maxiter = int(maxiter)
+        self.rng = np.random.default_rng(seed)
+        self.executor = executor
+        self.restart_offset = max(0, int(restart_offset))
+        # fitted state
+        self.X: Optional[np.ndarray] = None
+        self.y: Optional[np.ndarray] = None
+        self.task_index: Optional[np.ndarray] = None
+        self.theta: Optional[np.ndarray] = None
+        self._L: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self.log_likelihood_: float = -np.inf
+
+    # -- covariance assembly ------------------------------------------------
+    def _covariance(
+        self, theta: np.ndarray, sqd: np.ndarray, tidx: np.ndarray
+    ) -> Tuple[np.ndarray, list, list]:
+        """Return ``(Σ, [K_q], [A_q])`` for the stacked samples."""
+        ls, a, bw, dn = self.params.unpack(theta)
+        same = tidx[:, None] == tidx[None, :]
+        Sigma = np.diag(dn[tidx]).astype(float)
+        Ks, As = [], []
+        for q in range(self.params.Q):
+            Kq = gaussian_kernel(sqd, ls[q])
+            aq = a[tidx, q]
+            Aq = np.outer(aq, aq) + np.where(same, bw[tidx, q][:, None], 0.0)
+            Sigma += Aq * Kq
+            Ks.append(Kq)
+            As.append(Aq)
+        return Sigma, Ks, As
+
+    def _nll_and_grad(
+        self, theta: np.ndarray, sqd: np.ndarray, y: np.ndarray, tidx: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Negative log marginal likelihood and its gradient in ``theta``."""
+        p = self.params
+        N = y.shape[0]
+        ls, a, bw, dn = p.unpack(theta)
+        same = tidx[:, None] == tidx[None, :]
+        Sigma = np.diag(dn[tidx]).astype(float)
+        Ks, dKs, As = [], [], []
+        for q in range(p.Q):
+            Kq, dKq = gaussian_kernel_with_grad(sqd, ls[q])
+            aq = a[tidx, q]
+            Aq = np.outer(aq, aq) + np.where(same, bw[tidx, q][:, None], 0.0)
+            Sigma += Aq * Kq
+            Ks.append(Kq)
+            dKs.append(dKq)
+            As.append(Aq)
+        Sigma[np.diag_indices(N)] += self.jitter
+        try:
+            L = sla.cholesky(Sigma, lower=True)
+        except sla.LinAlgError:
+            return 1e25, np.zeros_like(theta)
+        alpha = sla.cho_solve((L, True), y)
+        nll = 0.5 * float(y @ alpha) + float(np.log(np.diag(L)).sum()) + 0.5 * N * np.log(2 * np.pi)
+        Sinv = sla.cho_solve((L, True), np.eye(N))
+        M = np.outer(alpha, alpha) - Sinv  # dLL/dθ = 0.5 tr(M ∂Σ/∂θ)
+
+        onehot = np.zeros((p.delta, N))
+        onehot[tidx, np.arange(N)] = 1.0
+
+        g_ls = np.empty((p.Q, p.beta))
+        g_a = np.empty((p.delta, p.Q))
+        g_b = np.empty((p.delta, p.Q))
+        for q in range(p.Q):
+            Gq = M * Ks[q]
+            MA = M * As[q]
+            for j in range(p.beta):
+                g_ls[q, j] = 0.5 * float(np.sum(MA * dKs[q][j]))
+            aq = a[tidx, q]
+            g_a[:, q] = onehot @ (Gq @ aq)
+            # block sums of Gq over same-task index pairs
+            g_b[:, q] = 0.5 * np.einsum("in,nm,im->i", onehot, Gq, onehot)
+        g_d = 0.5 * (onehot @ np.diag(M))
+
+        # chain rule to log-parameters for ls, b, d; negate for NLL
+        grad = -self.params.pack_grad(g_ls, g_a, g_b * bw, g_d * dn)
+        return nll, grad
+
+    # -- restart machinery ---------------------------------------------------
+    def _initial_theta(self, y: np.ndarray, restart: int) -> np.ndarray:
+        p = self.params
+        yvar = max(float(np.var(y)), 1e-10)
+        if restart == 0:
+            ls = np.full((p.Q, p.beta), 0.3)
+            a = np.ones((p.delta, p.Q)) * np.sqrt(yvar / p.Q)
+            bw = np.full((p.delta, p.Q), 0.05 * yvar)
+            dn = np.full(p.delta, 1e-3 * yvar + 1e-8)
+        else:
+            ls = np.exp(self.rng.normal(np.log(0.3), 0.7, (p.Q, p.beta)))
+            a = self.rng.normal(0.0, np.sqrt(yvar), (p.delta, p.Q))
+            bw = np.exp(self.rng.normal(np.log(0.05 * yvar + 1e-10), 1.0, (p.delta, p.Q)))
+            dn = np.exp(self.rng.normal(np.log(1e-3 * yvar + 1e-8), 1.0, p.delta))
+        return p.pack(ls, a, bw, dn)
+
+    def _optimize_one(self, args) -> Tuple[float, np.ndarray]:
+        theta0, sqd, y, tidx = args
+        res = optimize.minimize(
+            self._nll_and_grad,
+            theta0,
+            args=(sqd, y, tidx),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.maxiter},
+            bounds=self._bounds(theta0.shape[0]),
+        )
+        return float(res.fun), np.asarray(res.x)
+
+    def _bounds(self, n: int):
+        p = self.params
+        i0 = p.Q * p.beta
+        i1 = i0 + p.delta * p.Q
+        bounds = []
+        for k in range(n):
+            if i0 <= k < i1:  # the unconstrained a_{i,q}
+                bounds.append((-1e3, 1e3))
+            else:  # log-scale variables
+                bounds.append((-20.0, 12.0))
+        return bounds
+
+    # -- public API ------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray, task_index: Sequence[int]) -> "LCM":
+        """Fit the LCM to stacked samples.
+
+        Parameters
+        ----------
+        X:
+            ``(N, β)`` normalized inputs, all tasks concatenated.
+        y:
+            ``(N,)`` objective values (typically transformed upstream).
+        task_index:
+            ``(N,)`` integer task id in ``[0, δ)`` per row.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        tidx = np.asarray(task_index, dtype=int).ravel()
+        if not (X.shape[0] == y.shape[0] == tidx.shape[0]):
+            raise ValueError("X, y and task_index row counts differ")
+        if X.shape[0] == 0:
+            raise ValueError("no observations")
+        if tidx.min() < 0 or tidx.max() >= self.params.delta:
+            raise ValueError("task_index out of range")
+        sqd = pairwise_sq_diffs(X)
+
+        jobs = [
+            (self._initial_theta(y, s + self.restart_offset), sqd, y, tidx)
+            for s in range(self.n_start)
+        ]
+        if self.executor is not None:
+            results = list(self.executor.map(self._optimize_one, jobs))
+        else:
+            results = [self._optimize_one(j) for j in jobs]
+        best_nll, best_theta = min(results, key=lambda r: r[0])
+
+        self.X, self.y, self.task_index, self.theta = X, y, tidx, best_theta
+        self.log_likelihood_ = -best_nll
+        Sigma, _, _ = self._covariance(best_theta, sqd, tidx)
+        Sigma[np.diag_indices(X.shape[0])] += self.jitter
+        j = self.jitter
+        while True:
+            try:
+                self._L = sla.cholesky(Sigma, lower=True)
+                break
+            except sla.LinAlgError:
+                j = max(j, 1e-10) * 10
+                Sigma[np.diag_indices(X.shape[0])] += j
+                if j > 1.0:
+                    raise
+        self._alpha = sla.cho_solve((self._L, True), y)
+        return self
+
+    def predict(self, task: int, Xstar: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance for one task at new points (Eqs. 5–6).
+
+        Parameters
+        ----------
+        task:
+            Task id in ``[0, δ)``.
+        Xstar:
+            ``(N*, β)`` normalized query points.
+        """
+        if self.theta is None or self.X is None:
+            raise RuntimeError("predict() before fit()")
+        task = int(task)
+        if not 0 <= task < self.params.delta:
+            raise ValueError("task out of range")
+        Xstar = np.atleast_2d(np.asarray(Xstar, dtype=float))
+        ls, a, bw, dn = self.params.unpack(self.theta)
+        tidx = self.task_index
+        sqd = pairwise_sq_diffs(Xstar, self.X)
+        Kstar = np.zeros((Xstar.shape[0], self.X.shape[0]))
+        prior = 0.0
+        for q in range(self.params.Q):
+            Kq = gaussian_kernel(sqd, ls[q])
+            w = a[task, q] * a[tidx, q] + np.where(tidx == task, bw[task, q], 0.0)
+            Kstar += Kq * w[None, :]
+            prior += a[task, q] ** 2 + bw[task, q]
+        mu = Kstar @ self._alpha
+        v = sla.solve_triangular(self._L, Kstar.T, lower=True)
+        var = prior - np.einsum("ij,ij->j", v, v)
+        return mu, np.maximum(var, 0.0)
+
+    def task_correlation(self) -> np.ndarray:
+        """Fitted between-task correlation matrix ``B / sqrt(diag ⊗ diag)``.
+
+        ``B = A A^T + diag(Σ_q b)`` is the coregionalization matrix summed over
+        latents; its normalized form shows how much knowledge the model shares
+        between tasks (a diagnostic the multitask-learning literature uses).
+        """
+        if self.theta is None:
+            raise RuntimeError("not fitted")
+        _, a, bw, _ = self.params.unpack(self.theta)
+        B = a @ a.T + np.diag(bw.sum(axis=1))
+        dd = np.sqrt(np.clip(np.diag(B), 1e-300, None))
+        return B / np.outer(dd, dd)

@@ -1,0 +1,115 @@
+"""Evaluation metrics from Sec. 6 of the paper.
+
+* **WinTask** (Tab. 4) — the percentage of tasks on which one tuner finds a
+  strictly better objective minimum than another.
+* **stability** (Tab. 4) — anytime performance of a tuner on one task:
+  ``mean(y*(t, x_1), …, y*(t, x_{ε_tot})) / y*(t)`` where ``y*(t, x_j)`` is
+  the best value among samples ``1..j`` and ``y*(t)`` the best over all
+  tuners.  1.0 is ideal; larger means the tuner converged late.
+* Pareto utilities for the multi-objective study (Fig. 7): dominance masks
+  and the 2-D hypervolume indicator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "pareto_mask",
+    "dominates",
+    "win_task",
+    "stability",
+    "mean_stability",
+    "hypervolume_2d",
+]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff point ``a`` Pareto-dominates ``b`` (all <=, some <)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_mask(Y: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of ``Y`` (``(n, γ)``, minimized).
+
+    Duplicate rows are all kept (none strictly dominates the other).
+    """
+    Y = np.atleast_2d(np.asarray(Y, dtype=float))
+    n = Y.shape[0]
+    le = np.all(Y[:, None, :] <= Y[None, :, :], axis=2)
+    lt = np.any(Y[:, None, :] < Y[None, :, :], axis=2)
+    dominated = np.any(le & lt, axis=0)
+    return ~dominated
+
+
+def win_task(best_ours: Sequence[float], best_theirs: Sequence[float]) -> float:
+    """WinTask: fraction of tasks where *ours* is strictly better (smaller).
+
+    Parameters
+    ----------
+    best_ours, best_theirs:
+        Per-task best objective values from the two tuners, same length.
+    """
+    a = np.asarray(best_ours, dtype=float)
+    b = np.asarray(best_theirs, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("need two equal-length 1-D arrays")
+    if a.size == 0:
+        raise ValueError("need at least one task")
+    return float(np.mean(a < b))
+
+
+def stability(trajectory: Sequence[float], y_star: float) -> float:
+    """Anytime-performance stability of one tuner on one task.
+
+    Parameters
+    ----------
+    trajectory:
+        Raw objective values in evaluation order (``y(t, x_1..x_ε)``); the
+        running minimum is formed internally.
+    y_star:
+        Best value over all tuners for this task (the normalizer).
+    """
+    ys = np.asarray(trajectory, dtype=float)
+    if ys.size == 0:
+        raise ValueError("empty trajectory")
+    if y_star <= 0:
+        raise ValueError("y_star must be positive")
+    return float(np.minimum.accumulate(ys).mean() / y_star)
+
+
+def mean_stability(trajectories: Sequence[Sequence[float]], y_stars: Sequence[float]) -> float:
+    """Average stability over tasks — the Tab. 4 anytime metric."""
+    trajectories = list(trajectories)
+    y_stars = list(y_stars)
+    if len(trajectories) != len(y_stars) or not trajectories:
+        raise ValueError("need matching, non-empty trajectory/normalizer lists")
+    return float(np.mean([stability(t, s) for t, s in zip(trajectories, y_stars)]))
+
+
+def hypervolume_2d(front: np.ndarray, reference: Sequence[float]) -> float:
+    """Hypervolume dominated by a 2-D front w.r.t. a reference point.
+
+    Both objectives are minimized; points not dominating the reference
+    contribute nothing.  Used to compare the paper's single-task vs multitask
+    Pareto fronts quantitatively.
+    """
+    front = np.atleast_2d(np.asarray(front, dtype=float))
+    if front.shape[1] != 2:
+        raise ValueError("hypervolume_2d needs exactly two objectives")
+    ref = np.asarray(reference, dtype=float)
+    pts = front[np.all(front < ref, axis=1)]
+    if pts.size == 0:
+        return 0.0
+    pts = pts[pareto_mask(pts)]
+    pts = pts[np.argsort(pts[:, 0])]
+    hv = 0.0
+    prev_y = ref[1]
+    for x, y in pts:
+        hv += (ref[0] - x) * (prev_y - y)
+        prev_y = y
+    return float(hv)

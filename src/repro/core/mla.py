@@ -1,0 +1,478 @@
+"""The GPTune driver: multitask-learning autotuning (Algorithms 1 and 2).
+
+:class:`GPTune` runs Bayesian optimization with a shared LCM surrogate over
+δ tasks:
+
+1. **Sampling phase** — an LHS design of ``ε = ε_tot·initial_fraction``
+   feasible configurations per task is evaluated.
+2. **Modeling phase** — an LCM is fitted to all data by multi-start L-BFGS
+   (optionally through an executor; Sec. 4.3).  When coarse performance
+   models are attached, a *model-update phase* first refits their
+   hyperparameters, then the kernel inputs are enriched with the model
+   outputs (Sec. 3.3).
+3. **Search phase** — per task, PSO maximizes Expected Improvement over the
+   posterior (γ = 1), or NSGA-II advances the predicted Pareto front and
+   ``k = pareto_batch`` candidates are evaluated (γ > 1, Algorithm 2).
+
+Phases 2–3 repeat until the per-task budget ``ε_tot`` is exhausted.  The
+returned :class:`TuneResult` carries all data, the best configurations, and
+the phase-time breakdown reported in Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .acquisition import EIAcquisition
+from .data import TuningData
+from .history import HistoryDB
+from .lcm import LCM
+from .options import Options
+from .perfmodel import ModelFeaturizer
+from .problem import TuningProblem
+from .sampling import LHSSampler, sample_feasible
+from .search.nsga2 import NSGA2, crowding_distance
+from .search.pso import ParticleSwarm
+
+__all__ = ["GPTune", "TuneResult"]
+
+
+class TuneResult:
+    """Outcome of one MLA run.
+
+    Attributes
+    ----------
+    data:
+        The full :class:`~repro.core.data.TuningData` (T, X, Y).
+    stats:
+        Phase-time breakdown: ``objective_time`` is the *simulated*
+        application time (the sum of runtime objectives, matching the
+        "objective" column of Table 3), ``objective_wall_time`` the real
+        seconds spent in the objective callable, ``modeling_time`` and
+        ``search_time`` real seconds in those phases, ``total_time`` their
+        sum with ``objective_time``.
+    models:
+        The fitted LCM(s) of the final iteration, one per objective.
+    """
+
+    def __init__(self, data: TuningData, stats: Dict[str, float], models: List[LCM]):
+        self.data = data
+        self.stats = dict(stats)
+        self.models = models
+
+    def best(self, task: int, objective: int = 0) -> Tuple[Dict[str, Any], float]:
+        """Best configuration and value for one task (single objective)."""
+        return self.data.best(task, objective)
+
+    def best_values(self, objective: int = 0) -> np.ndarray:
+        """Per-task best objective values."""
+        return np.array(
+            [self.data.best(i, objective)[1] for i in range(self.data.n_tasks)]
+        )
+
+    def pareto_front(self, task: int):
+        """Non-dominated ``(configs, objectives)`` for one task (γ > 1)."""
+        return self.data.pareto_front(task)
+
+    def trajectory(self, task: int, objective: int = 0) -> np.ndarray:
+        """Best-so-far curve (anytime performance) for one task."""
+        return self.data.best_trajectory(task, objective)
+
+
+class _BatchEval:
+    """Picklable evaluation closure for executor-mapped batch evaluation."""
+
+    def __init__(self, problem: TuningProblem, tasks: List[Mapping[str, Any]]):
+        self.problem = problem
+        self.tasks = tasks
+
+    def __call__(self, item):
+        idx, cfg = item
+        return self.problem.evaluate(self.tasks[idx], cfg)
+
+
+class _YTransform:
+    """Per-objective output transform for surrogate fitting."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.mean = 0.0
+        self.std = 1.0
+
+    def fit(self, y: np.ndarray) -> np.ndarray:
+        v = np.log(np.maximum(y, 1e-300)) if self.kind == "log" else np.asarray(y, float)
+        if self.kind == "none":
+            self.mean, self.std = 0.0, 1.0
+            return v.copy()
+        self.mean = float(v.mean())
+        self.std = float(v.std()) or 1.0
+        return (v - self.mean) / self.std
+
+
+class GPTune:
+    """Multitask Bayesian-optimization autotuner.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.TuningProblem` to tune.
+    options:
+        Algorithm knobs; see :class:`~repro.core.options.Options`.
+    history:
+        Optional :class:`~repro.core.history.HistoryDB`.  Matching archived
+        evaluations seed the model for free, and new evaluations are
+        archived.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        options: Optional[Options] = None,
+        history: Optional[HistoryDB] = None,
+    ):
+        self.problem = problem
+        self.options = options or Options()
+        self.history = history
+        self._seeds = np.random.SeedSequence(self.options.seed)
+        self._executor = None
+
+    # -- internals ---------------------------------------------------------
+    def _child_seed(self) -> int:
+        return int(self._seeds.spawn(1)[0].generate_state(1)[0])
+
+    def _get_executor(self):
+        if self.options.backend == "serial":
+            return None
+        if self._executor is None:
+            from ..runtime.executor import make_executor
+
+            self._executor = make_executor(self.options.backend, self.options.n_workers)
+        return self._executor
+
+    def _evaluate(self, data: TuningData, task: int, cfg: Mapping[str, Any], stats) -> None:
+        t0 = time.perf_counter()
+        y = self.problem.evaluate(data.tasks[task], cfg)
+        stats["objective_wall_time"] += time.perf_counter() - t0
+        stats["objective_time"] += float(y[0])
+        data.add(task, cfg, y)
+        if self.history is not None:
+            self.history.append(
+                self.problem.name,
+                [{"task": data.tasks[task], "x": data.X[task][-1], "y": [float(v) for v in y]}],
+            )
+
+    def _seen_keys(self, data: TuningData, task: int) -> set:
+        return {tuple(np.round(data.tuning_space.normalize(x), 9)) for x in data.X[task]}
+
+    # -- main entry -----------------------------------------------------------
+    def tune(
+        self,
+        tasks: Sequence[Any],
+        n_samples: int,
+        preload: Optional[Sequence[Mapping[str, Any]]] = None,
+        frozen: Optional[Sequence[int]] = None,
+        callback: Optional[Any] = None,
+    ) -> TuneResult:
+        """Run MLA over the given tasks with per-task budget ``ε_tot``.
+
+        Parameters
+        ----------
+        tasks:
+            δ native task values (mappings or positional sequences).
+        n_samples:
+            ε_tot — total function evaluations per task (>= 2).
+        preload:
+            Optional archived records (``{"task", "x", "y"}`` dicts, as
+            produced by :meth:`TuningData.to_records`) absorbed before the
+            sampling phase; matching-task records count toward the budget.
+        frozen:
+            Task indices that receive **no new evaluations**: their
+            (preloaded) data only informs the shared LCM.  Used by transfer
+            learning (:mod:`repro.core.tla`) to tune a new task against
+            completed source tasks.
+        callback:
+            Optional ``callback(iteration, data, stats) -> bool`` invoked
+            after every MLA iteration; returning True stops tuning early
+            (anytime usage).  ``options.max_seconds`` adds a wall-clock cap.
+
+        Returns
+        -------
+        :class:`TuneResult`
+        """
+        if n_samples < 2:
+            raise ValueError("need n_samples >= 2 (initial design + BO)")
+        gamma = self.problem.n_objectives
+        data = TuningData(
+            self.problem.task_space, self.problem.tuning_space, tasks, n_objectives=gamma
+        )
+        frozen_set = set(int(i) for i in (frozen or ()))
+        if any(i < 0 or i >= data.n_tasks for i in frozen_set):
+            raise ValueError("frozen task index out of range")
+        active = [i for i in range(data.n_tasks) if i not in frozen_set]
+        if not active:
+            raise ValueError("all tasks frozen; nothing to tune")
+        stats = {
+            "objective_time": 0.0,
+            "objective_wall_time": 0.0,
+            "modeling_time": 0.0,
+            "search_time": 0.0,
+        }
+
+        # archived data counts toward the budget for free (reuse goal)
+        if self.history is not None:
+            data.load_records(self.history.records(self.problem.name))
+        if preload is not None:
+            data.load_records(preload)
+        for i in frozen_set:
+            if data.n_samples(i) == 0:
+                raise ValueError(f"frozen task {i} has no preloaded data")
+
+        # -- sampling phase ------------------------------------------------
+        eps_init = max(2, int(round(n_samples * self.options.initial_fraction)))
+        sampler = LHSSampler(self.problem.tuning_space, seed=self._child_seed())
+        for i in active:
+            need = eps_init - data.n_samples(i)
+            if need <= 0:
+                continue
+            for cfg in sampler.sample(need, extra=data.tasks[i]):
+                self._evaluate(data, i, cfg, stats)
+
+        # -- MLA iterations ----------------------------------------------------
+        models: List[LCM] = []
+        t_begin = time.perf_counter()
+        iteration = 0
+        while min(data.n_samples(i) for i in active) < n_samples:
+            if gamma == 1:
+                models = self._iteration_single(data, stats, active)
+            else:
+                models = self._iteration_multi(data, stats, active)
+            iteration += 1
+            if self.options.verbose:  # pragma: no cover - logging
+                done = [data.n_samples(i) for i in range(data.n_tasks)]
+                best = [f"{data.best(i)[1]:.4g}" for i in range(data.n_tasks)]
+                print(f"[gptune] samples={done} best={best}")
+            if callback is not None and callback(iteration, data, stats):
+                break
+            if (
+                self.options.max_seconds is not None
+                and time.perf_counter() - t_begin >= self.options.max_seconds
+            ):
+                break
+
+        stats["total_time"] = (
+            stats["objective_time"] + stats["modeling_time"] + stats["search_time"]
+        )
+        return TuneResult(data, stats, models)
+
+    # -- single-objective iteration (Algorithm 1) ------------------------------
+    def _fit_models(
+        self, data: TuningData, stats, featurizer: Optional[ModelFeaturizer]
+    ) -> Tuple[List[LCM], List[_YTransform], List[np.ndarray]]:
+        """Model-update + modeling phases; returns per-objective surrogates."""
+        t0 = time.perf_counter()
+        gamma = data.n_objectives
+        X, _, tidx = data.stacked(0)
+
+        if featurizer is not None:
+            tasks_flat = [data.tasks[i] for i in tidx]
+            cfgs_flat = [x for xs in data.X for x in xs]
+            y0 = np.array([data.Y[i][j][0] for i in range(data.n_tasks) for j in range(len(data.Y[i]))])
+            featurizer.update_hyperparameters(tasks_flat, cfgs_flat, y0)
+            raw = np.vstack(
+                [featurizer.raw(t, c) for t, c in zip(tasks_flat, cfgs_flat)]
+            )
+            featurizer.observe(raw)
+            X = np.hstack([X, featurizer.scale(raw)])
+
+        models, transforms, ybests = [], [], []
+        executor = self._get_executor() if self.options.model_restarts_parallel else None
+        for s in range(gamma):
+            _, ys, _ = data.stacked(s)
+            tr = _YTransform(self.options.y_transform)
+            yt = tr.fit(ys)
+            lcm = LCM(
+                n_tasks=data.n_tasks,
+                n_dims=X.shape[1],
+                n_latent=self.options.n_latent,
+                jitter=self.options.jitter,
+                n_start=self.options.n_start,
+                maxiter=self.options.lbfgs_maxiter,
+                seed=self._child_seed(),
+                executor=executor,
+            )
+            lcm.fit(X, yt, tidx)
+            models.append(lcm)
+            transforms.append(tr)
+            # per-task incumbents in transformed units
+            ybests.append(
+                np.array(
+                    [yt[tidx == i].min() if np.any(tidx == i) else np.inf for i in range(data.n_tasks)]
+                )
+            )
+        stats["modeling_time"] += time.perf_counter() - t0
+        return models, transforms, ybests
+
+    def _predict_unit(
+        self,
+        lcm: LCM,
+        task: int,
+        task_dict: Mapping[str, Any],
+        featurizer: Optional[ModelFeaturizer],
+    ):
+        """Posterior over raw normalized candidates (adds model features)."""
+        space = self.problem.tuning_space
+
+        def predict(Xunit: np.ndarray):
+            Xunit = np.atleast_2d(Xunit)
+            if featurizer is not None:
+                cfgs = [space.denormalize(u) for u in Xunit]
+                Xin = featurizer.enrich(task_dict, cfgs, Xunit, observe=False)
+            else:
+                Xin = Xunit
+            return lcm.predict(task, Xin)
+
+        return predict
+
+    def _iteration_single(
+        self, data: TuningData, stats, active: Optional[Sequence[int]] = None
+    ) -> List[LCM]:
+        featurizer = ModelFeaturizer(self.problem.models) if self.problem.has_models else None
+        models, _, ybests = self._fit_models(data, stats, featurizer)
+        lcm = models[0]
+
+        t0 = time.perf_counter()
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i in active if active is not None else range(data.n_tasks):
+            acq = EIAcquisition(
+                self._predict_unit(lcm, i, data.tasks[i], featurizer),
+                y_best=float(ybests[0][i]),
+                feasibility=self.problem.feasibility_on_unit(data.tasks[i]),
+            )
+            pso = ParticleSwarm(
+                dim=data.tuning_space.dimension,
+                n_particles=self.options.ei_candidates,
+                iterations=self.options.pso_iters,
+                seed=self._child_seed(),
+            )
+            seeds = data.tuning_space.normalize(data.best(i)[0])[None, :]
+            xunit, _ = pso.maximize(acq, x0=seeds)
+            q = self.options.batch_evals
+            if q > 1:
+                for u in pso.top_batch(q):
+                    cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
+                    proposals.append((i, cfg))
+            else:
+                cfg = self._dedup(data, i, data.tuning_space.denormalize(xunit))
+                proposals.append((i, cfg))
+        stats["search_time"] += time.perf_counter() - t0
+
+        self._evaluate_batch(data, proposals, stats)
+        return models
+
+    def _evaluate_batch(self, data: TuningData, proposals, stats) -> None:
+        """Evaluate proposals, concurrently when an executor is configured.
+
+        The black-box calls run through the executor (Sec. 4.2 concurrent
+        evaluations); recording (data/history/stats) stays sequential and
+        deterministic in proposal order.
+        """
+        executor = self._get_executor()
+        if executor is None or len(proposals) <= 1:
+            for i, cfg in proposals:
+                self._evaluate(data, i, cfg, stats)
+            return
+        t0 = time.perf_counter()
+        ys = executor.map(
+            _BatchEval(self.problem, [data.tasks[i] for i, _ in proposals]),
+            list(enumerate(cfg for _, cfg in proposals)),
+        )
+        stats["objective_wall_time"] += time.perf_counter() - t0
+        for (i, cfg), y in zip(proposals, ys):
+            stats["objective_time"] += float(y[0])
+            data.add(i, cfg, y)
+            if self.history is not None:
+                self.history.append(
+                    self.problem.name,
+                    [{"task": data.tasks[i], "x": data.X[i][-1], "y": [float(v) for v in y]}],
+                )
+
+    def _dedup(self, data: TuningData, task: int, cfg: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace an already-evaluated proposal with a fresh feasible point."""
+        seen = self._seen_keys(data, task)
+        key = tuple(np.round(data.tuning_space.normalize(cfg), 9))
+        if key not in seen:
+            return cfg
+        rng = np.random.default_rng(self._child_seed())
+        for cand in sample_feasible(
+            data.tuning_space, 64, rng, extra=data.tasks[task], max_tries=50_000
+        ):
+            k = tuple(np.round(data.tuning_space.normalize(cand), 9))
+            if k not in seen:
+                return cand
+        return cfg  # tiny discrete space fully explored; re-evaluate
+
+    # -- multi-objective iteration (Algorithm 2) ----------------------------------
+    def _iteration_multi(
+        self, data: TuningData, stats, active: Optional[Sequence[int]] = None
+    ) -> List[LCM]:
+        featurizer = ModelFeaturizer(self.problem.models) if self.problem.has_models else None
+        models, _, _ = self._fit_models(data, stats, featurizer)
+        gamma = data.n_objectives
+        k = self.options.pareto_batch
+
+        t0 = time.perf_counter()
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i in active if active is not None else range(data.n_tasks):
+            predicts = [
+                self._predict_unit(models[s], i, data.tasks[i], featurizer) for s in range(gamma)
+            ]
+            feasible = self.problem.feasibility_on_unit(data.tasks[i])
+
+            def mo_objective(Xunit: np.ndarray) -> np.ndarray:
+                # lower-confidence-bound scalarization per objective: the
+                # NSGA-II population then spans the optimistic Pareto front
+                # (the "multi-objective EI" search of Algorithm 2).
+                cols = []
+                for pr in predicts:
+                    mu, var = pr(Xunit)
+                    cols.append(mu - 1.0 * np.sqrt(var))
+                F = np.column_stack(cols)
+                bad = ~feasible(Xunit)
+                F[bad] = np.inf
+                return F
+
+            nsga = NSGA2(
+                dim=data.tuning_space.dimension,
+                pop_size=self.options.nsga_pop,
+                generations=self.options.nsga_gens,
+                seed=self._child_seed(),
+            )
+            seedX = data.tuning_space.normalize_many(
+                data.pareto_front(i)[0] or [data.best(i)[0]]
+            )
+            Xf, Ff = nsga.minimize(mo_objective, x0=seedX)
+            picks = self._pick_k(Xf, Ff, k)
+            for u in picks:
+                cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
+                proposals.append((i, cfg))
+        stats["search_time"] += time.perf_counter() - t0
+
+        for i, cfg in proposals:
+            self._evaluate(data, i, cfg, stats)
+        return models
+
+    @staticmethod
+    def _pick_k(Xf: np.ndarray, Ff: np.ndarray, k: int) -> np.ndarray:
+        """Choose k spread-out points from a front by crowding distance."""
+        if Xf.shape[0] <= k:
+            return Xf
+        finite = np.all(np.isfinite(Ff), axis=1)
+        Xf, Ff = Xf[finite], Ff[finite]
+        if Xf.shape[0] <= k:
+            return Xf
+        cd = crowding_distance(Ff)
+        order = np.argsort(-cd, kind="stable")
+        return Xf[order[:k]]

@@ -1,0 +1,110 @@
+"""Tuner options.
+
+:class:`Options` gathers every knob of the MLA machinery with the defaults
+used throughout the paper's experiments.  It is a plain value object with
+validation; modules read from it rather than taking long argument lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = ["Options"]
+
+
+@dataclasses.dataclass
+class Options:
+    """Configuration for :class:`repro.core.mla.GPTune`.
+
+    Attributes
+    ----------
+    n_latent:
+        Q — number of latent functions in the LCM (Eq. 1).  ``None`` selects
+        ``min(δ, 3)`` at model-build time; the paper requires ``Q <= δ``.
+    n_start:
+        Number of random L-BFGS restarts when maximizing the log-likelihood
+        (Sec. 4.3); the best restart wins.
+    lbfgs_maxiter:
+        Iteration cap per L-BFGS run.
+    jitter:
+        Diagonal regularization added to the covariance before factorization.
+    y_transform:
+        ``"standardize"`` (per-objective z-score over all tasks), ``"log"``
+        (log then z-score; right for runtimes spanning decades) or ``"none"``.
+    ei_candidates:
+        Population size of the PSO swarm maximizing Expected Improvement.
+    pso_iters:
+        PSO generations per search phase.
+    nsga_pop, nsga_gens:
+        NSGA-II population / generations for multi-objective search.
+    pareto_batch:
+        k — number of new configurations evaluated per multi-objective
+        iteration (Algorithm 2, line 5).
+    batch_evals:
+        q — single-objective configurations evaluated per task per
+        iteration.  q > 1 proposes diverse top EI candidates and runs them
+        concurrently through the executor backend (Sec. 4.2: GPTune
+        "supports calling multiple function evaluations concurrently").
+    initial_fraction:
+        Fraction of ``ε_tot`` used for the initial LHS design (paper: 1/2).
+    backend:
+        Executor backend for the tuner's own parallelism: ``"serial"``,
+        ``"thread"`` or ``"process"``.
+    n_workers:
+        Worker count for the thread/process backends.
+    seed:
+        Master seed; all randomness (sampling, PSO, NSGA-II, restarts)
+        derives from it, making runs reproducible.
+    model_restarts_parallel:
+        Distribute the ``n_start`` restarts over the executor (Sec. 4.3
+        level-1 parallelism).
+    max_seconds:
+        Optional wall-clock budget for one :meth:`~repro.core.mla.GPTune.tune`
+        call; iteration stops once exceeded (the *anytime* usage mode —
+        "the best performance so-far when tuning is terminated early",
+        Sec. 1).  The evaluation budget ``ε_tot`` still caps the run.
+    verbose:
+        Print per-iteration progress.
+    """
+
+    n_latent: Optional[int] = None
+    n_start: int = 3
+    lbfgs_maxiter: int = 200
+    jitter: float = 1e-8
+    y_transform: str = "standardize"
+    ei_candidates: int = 40
+    pso_iters: int = 30
+    nsga_pop: int = 40
+    nsga_gens: int = 25
+    pareto_batch: int = 4
+    batch_evals: int = 1
+    initial_fraction: float = 0.5
+    backend: str = "serial"
+    n_workers: int = 2
+    seed: Optional[int] = None
+    model_restarts_parallel: bool = True
+    max_seconds: Optional[float] = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_latent is not None and self.n_latent < 1:
+            raise ValueError("n_latent must be >= 1")
+        if self.n_start < 1:
+            raise ValueError("n_start must be >= 1")
+        if not 0.0 < self.initial_fraction < 1.0:
+            raise ValueError("initial_fraction must be in (0, 1)")
+        if self.y_transform not in ("standardize", "log", "none"):
+            raise ValueError(f"unknown y_transform {self.y_transform!r}")
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.pareto_batch < 1:
+            raise ValueError("pareto_batch must be >= 1")
+        if self.batch_evals < 1:
+            raise ValueError("batch_evals must be >= 1")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+
+    def replace(self, **kw) -> "Options":
+        """Return a copy with the given fields overridden."""
+        return dataclasses.replace(self, **kw)

@@ -1,0 +1,211 @@
+"""NSGA-II — non-dominated sorting genetic algorithm II (Deb et al. 2002).
+
+Used by the multi-objective search phase (Algorithm 2): candidates are ranked
+by Pareto dominance fronts, ties broken by crowding distance, and evolved
+with simulated-binary crossover (SBX) and polynomial mutation on the unit
+hypercube.  The implementation minimizes all objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["fast_non_dominated_sort", "crowding_distance", "NSGA2"]
+
+
+def fast_non_dominated_sort(F: np.ndarray) -> List[np.ndarray]:
+    """Partition rows of ``F`` (``(n, γ)`` objectives, minimized) into fronts.
+
+    Returns a list of integer index arrays; front 0 is the Pareto set of the
+    population, front 1 the Pareto set after removing front 0, and so on.
+    """
+    F = np.atleast_2d(np.asarray(F, dtype=float))
+    n = F.shape[0]
+    # dominates[i, j] = True iff i dominates j (<= everywhere, < somewhere)
+    le = np.all(F[:, None, :] <= F[None, :, :], axis=2)
+    lt = np.any(F[:, None, :] < F[None, :, :], axis=2)
+    dominates = le & lt
+    dominated_count = dominates.sum(axis=0).astype(int)
+    fronts: List[np.ndarray] = []
+    current = np.where(dominated_count == 0)[0]
+    assigned = np.zeros(n, dtype=bool)
+    while current.size:
+        fronts.append(current)
+        assigned[current] = True
+        dominated_count = dominated_count - dominates[current].sum(axis=0)
+        current = np.where((dominated_count == 0) & ~assigned)[0]
+    return fronts
+
+
+def crowding_distance(F: np.ndarray) -> np.ndarray:
+    """Crowding distance of each row within one front (larger = less crowded).
+
+    Boundary points of each objective get infinite distance, preserving the
+    extremes of the front.
+    """
+    F = np.atleast_2d(np.asarray(F, dtype=float))
+    n, m = F.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    dist = np.zeros(n)
+    with np.errstate(invalid="ignore"):
+        for j in range(m):
+            order = np.argsort(F[:, j], kind="stable")
+            fj = F[order, j]
+            span = fj[-1] - fj[0]
+            dist[order[0]] = dist[order[-1]] = np.inf
+            if not np.isfinite(span) or span <= 0:
+                continue
+            dist[order[1:-1]] += (fj[2:] - fj[:-2]) / span
+    return dist
+
+
+class NSGA2:
+    """NSGA-II minimizer over ``[0, 1]^dim``.
+
+    Parameters
+    ----------
+    dim:
+        Decision-space dimensionality.
+    pop_size:
+        Population size (rounded up to an even number).
+    generations:
+        Evolution steps.
+    eta_crossover, eta_mutation:
+        SBX / polynomial-mutation distribution indices.
+    p_crossover, p_mutation:
+        Crossover probability and per-gene mutation probability
+        (``None`` → ``1/dim``).
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        pop_size: int = 40,
+        generations: int = 25,
+        eta_crossover: float = 15.0,
+        eta_mutation: float = 20.0,
+        p_crossover: float = 0.9,
+        p_mutation: Optional[float] = None,
+        seed: Optional[int] = None,
+    ):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = int(dim)
+        self.pop_size = int(pop_size) + int(pop_size) % 2
+        self.generations = max(1, int(generations))
+        self.eta_c = float(eta_crossover)
+        self.eta_m = float(eta_mutation)
+        self.p_c = float(p_crossover)
+        self.p_m = 1.0 / dim if p_mutation is None else float(p_mutation)
+        self.rng = np.random.default_rng(seed)
+
+    # -- variation operators -----------------------------------------------
+    def _sbx(self, p1: np.ndarray, p2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Simulated binary crossover of two parents."""
+        c1, c2 = p1.copy(), p2.copy()
+        if self.rng.random() > self.p_c:
+            return c1, c2
+        u = self.rng.random(self.dim)
+        beta = np.where(
+            u <= 0.5,
+            (2.0 * u) ** (1.0 / (self.eta_c + 1.0)),
+            (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (self.eta_c + 1.0)),
+        )
+        mask = self.rng.random(self.dim) < 0.5
+        b = np.where(mask, beta, 1.0)
+        c1 = 0.5 * ((1 + b) * p1 + (1 - b) * p2)
+        c2 = 0.5 * ((1 - b) * p1 + (1 + b) * p2)
+        return np.clip(c1, 0, 1), np.clip(c2, 0, 1)
+
+    def _mutate(self, x: np.ndarray) -> np.ndarray:
+        """Polynomial mutation (in place on a copy)."""
+        y = x.copy()
+        genes = self.rng.random(self.dim) < self.p_m
+        if not genes.any():
+            return y
+        u = self.rng.random(self.dim)
+        delta = np.where(
+            u < 0.5,
+            (2.0 * u) ** (1.0 / (self.eta_m + 1.0)) - 1.0,
+            1.0 - (2.0 * (1.0 - u)) ** (1.0 / (self.eta_m + 1.0)),
+        )
+        y[genes] = np.clip(y[genes] + delta[genes], 0.0, 1.0)
+        return y
+
+    def _tournament(self, rank: np.ndarray, crowd: np.ndarray) -> int:
+        """Binary tournament on (rank, crowding distance)."""
+        i, j = self.rng.integers(0, rank.shape[0], 2)
+        if rank[i] < rank[j]:
+            return int(i)
+        if rank[j] < rank[i]:
+            return int(j)
+        return int(i) if crowd[i] >= crowd[j] else int(j)
+
+    # -- main loop --------------------------------------------------------
+    def minimize(
+        self,
+        objectives: Callable[[np.ndarray], np.ndarray],
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evolve toward the Pareto front of a batch objective.
+
+        Parameters
+        ----------
+        objectives:
+            Vectorized ``(n, dim) -> (n, γ)`` function, all objectives
+            minimized.  Rows may contain ``inf`` for infeasible points.
+        x0:
+            Optional seed individuals injected into the initial population.
+
+        Returns
+        -------
+        ``(X, F)`` — decision vectors and objective rows of the final
+        population's first (non-dominated) front.
+        """
+        pop = self.rng.random((self.pop_size, self.dim))
+        if x0 is not None:
+            x0 = np.atleast_2d(np.asarray(x0, dtype=float))
+            k = min(x0.shape[0], self.pop_size)
+            pop[:k] = np.clip(x0[:k], 0.0, 1.0)
+        F = np.atleast_2d(np.asarray(objectives(pop), dtype=float))
+
+        for _ in range(self.generations):
+            fronts = fast_non_dominated_sort(F)
+            rank = np.empty(pop.shape[0], dtype=int)
+            crowd = np.empty(pop.shape[0])
+            for r, idx in enumerate(fronts):
+                rank[idx] = r
+                crowd[idx] = crowding_distance(F[idx])
+
+            children = []
+            while len(children) < self.pop_size:
+                a = pop[self._tournament(rank, crowd)]
+                b = pop[self._tournament(rank, crowd)]
+                c1, c2 = self._sbx(a, b)
+                children.append(self._mutate(c1))
+                children.append(self._mutate(c2))
+            child = np.vstack(children[: self.pop_size])
+            Fc = np.atleast_2d(np.asarray(objectives(child), dtype=float))
+
+            # elitist environmental selection on parents ∪ children
+            allX = np.vstack([pop, child])
+            allF = np.vstack([F, Fc])
+            fronts = fast_non_dominated_sort(allF)
+            keep: List[int] = []
+            for idx in fronts:
+                if len(keep) + idx.size <= self.pop_size:
+                    keep.extend(idx.tolist())
+                else:
+                    cd = crowding_distance(allF[idx])
+                    order = np.argsort(-cd, kind="stable")
+                    keep.extend(idx[order][: self.pop_size - len(keep)].tolist())
+                    break
+            pop, F = allX[keep], allF[keep]
+
+        first = fast_non_dominated_sort(F)[0]
+        return pop[first], F[first]

@@ -1,0 +1,142 @@
+"""Particle Swarm Optimization over the unit hypercube.
+
+The paper's search phase generates large numbers of cheap EI evaluations and
+"uses global, evolutionary algorithms such as the Particle Swarm Optimization
+(PSO) algorithm to optimize the EI".  This is the standard inertia-weight PSO
+of Kennedy & Eberhart with reflecting bounds, specialized to maximize a
+vectorized objective on ``[0, 1]^d``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ParticleSwarm"]
+
+
+class ParticleSwarm:
+    """Inertia-weight PSO maximizer on ``[0, 1]^dim``.
+
+    Parameters
+    ----------
+    dim:
+        Search dimensionality.
+    n_particles:
+        Swarm size.
+    iterations:
+        Number of velocity/position updates.
+    inertia, cognitive, social:
+        Classic PSO coefficients (ω, c1, c2).  Inertia decays linearly to
+        0.4·ω over the run, shifting from exploration to exploitation.
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_particles: int = 40,
+        iterations: int = 30,
+        inertia: float = 0.72,
+        cognitive: float = 1.49,
+        social: float = 1.49,
+        seed: Optional[int] = None,
+    ):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = int(dim)
+        self.n_particles = max(2, int(n_particles))
+        self.iterations = max(1, int(iterations))
+        self.inertia = float(inertia)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+        self.rng = np.random.default_rng(seed)
+
+    def maximize(
+        self,
+        objective: Callable[[np.ndarray], np.ndarray],
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, float]:
+        """Maximize a vectorized objective ``(n, dim) -> (n,)``.
+
+        Parameters
+        ----------
+        objective:
+            Batch objective; ``-inf`` values mark infeasible points.
+        x0:
+            Optional ``(k, dim)`` seed positions injected into the initial
+            swarm (e.g. the incumbent or previous optima).
+
+        Returns
+        -------
+        ``(x_best, f_best)`` — the best position found and its value.
+        """
+        n, d = self.n_particles, self.dim
+        pos = self.rng.random((n, d))
+        if x0 is not None:
+            x0 = np.atleast_2d(np.asarray(x0, dtype=float))
+            k = min(x0.shape[0], n)
+            pos[:k] = np.clip(x0[:k], 0.0, 1.0)
+        vel = self.rng.uniform(-0.1, 0.1, (n, d))
+
+        fit = np.asarray(objective(pos), dtype=float)
+        pbest, pbest_f = pos.copy(), fit.copy()
+        g = int(np.argmax(pbest_f))
+        gbest, gbest_f = pbest[g].copy(), float(pbest_f[g])
+
+        for it in range(self.iterations):
+            w = self.inertia * (1.0 - 0.6 * it / max(1, self.iterations - 1))
+            r1 = self.rng.random((n, d))
+            r2 = self.rng.random((n, d))
+            vel = (
+                w * vel
+                + self.cognitive * r1 * (pbest - pos)
+                + self.social * r2 * (gbest[None, :] - pos)
+            )
+            np.clip(vel, -0.5, 0.5, out=vel)
+            pos = pos + vel
+            # reflecting bounds keep particles inside the cube
+            over, under = pos > 1.0, pos < 0.0
+            pos[over] = 2.0 - pos[over]
+            pos[under] = -pos[under]
+            np.clip(pos, 0.0, 1.0, out=pos)
+            vel[over | under] *= -0.5
+
+            fit = np.asarray(objective(pos), dtype=float)
+            improved = fit > pbest_f
+            pbest[improved] = pos[improved]
+            pbest_f[improved] = fit[improved]
+            g = int(np.argmax(pbest_f))
+            if pbest_f[g] > gbest_f:
+                gbest, gbest_f = pbest[g].copy(), float(pbest_f[g])
+        self._pbest, self._pbest_f = pbest, pbest_f
+        return gbest, gbest_f
+
+    def top_batch(self, q: int, min_dist: float = 0.05) -> np.ndarray:
+        """Up to ``q`` diverse high-scoring positions from the last run.
+
+        Greedily picks personal bests in descending score, skipping points
+        within ``min_dist`` (Euclidean, normalized space) of an already
+        selected one — the batch-proposal strategy behind concurrent
+        function evaluations (the paper's Sec. 4.2 notes GPTune "supports
+        calling multiple function evaluations concurrently").
+
+        Must be called after :meth:`maximize`.
+        """
+        if not hasattr(self, "_pbest"):
+            raise RuntimeError("top_batch() before maximize()")
+        order = np.argsort(-self._pbest_f, kind="stable")
+        picked: list = []
+        for i in order:
+            if not np.isfinite(self._pbest_f[i]):
+                continue
+            x = self._pbest[i]
+            if all(np.linalg.norm(x - p) >= min_dist for p in picked):
+                picked.append(x.copy())
+            if len(picked) >= q:
+                break
+        if not picked:  # everything infeasible/-inf: return the global best
+            picked = [self._pbest[order[0]].copy()]
+        return np.vstack(picked)

@@ -1,0 +1,165 @@
+"""Transfer Learning Autotuning (TLA).
+
+GPTune's history goals (Sec. 1, goal 3) extend beyond rerunning the same
+tasks: the open-source GPTune system ships *transfer learning autotuning*,
+which reuses completed MLA data to tune a **new, unseen task**.  This module
+implements the two standard variants on top of this package's MLA core:
+
+* **TLA-0** (:meth:`TransferLearner.predict_config`) — zero new evaluations.
+  The per-task optimal configurations from the source data are interpolated
+  over the normalized task space (inverse-distance weighting, which degrades
+  gracefully with very few source tasks) and the interpolant is evaluated at
+  the new task.  This is GPTune's "TLA1: predict the optimum without any
+  objective evaluation".
+* **TLA-MLA** (:meth:`TransferLearner.tune`) — few new evaluations.  MLA
+  runs over the source tasks ∪ the new task with the source tasks *frozen*
+  (their archived samples inform the joint LCM; only the new task spends
+  budget).  The LCM's coregionalization then transfers the source
+  landscapes to the new task, exactly the mechanism of Sec. 3.1 with the
+  budget concentrated on one row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .data import TuningData
+from .mla import GPTune, TuneResult
+from .options import Options
+from .problem import TuningProblem
+
+__all__ = ["TransferLearner"]
+
+
+class TransferLearner:
+    """Reuse completed tuning data to tune new tasks.
+
+    Parameters
+    ----------
+    problem:
+        The tuning problem (spaces must match the source data).
+    source:
+        Completed :class:`~repro.core.data.TuningData` — e.g.
+        ``TuneResult.data`` from an earlier MLA run, or a fresh
+        ``TuningData`` populated via ``load_records`` from a
+        :class:`~repro.core.history.HistoryDB`.
+    """
+
+    def __init__(self, problem: TuningProblem, source: TuningData):
+        if source.n_tasks < 1 or source.n_samples() == 0:
+            raise ValueError("source data is empty")
+        if source.tuning_space.names != problem.tuning_space.names:
+            raise ValueError("source tuning space does not match the problem")
+        self.problem = problem
+        self.source = source
+
+    # -- TLA-0: no new evaluations ------------------------------------------
+    def predict_config(
+        self, new_task: Mapping[str, Any], power: float = 2.0, objective: int = 0
+    ) -> Dict[str, Any]:
+        """Predict a good configuration for ``new_task`` without running it.
+
+        Inverse-distance-weighted interpolation of the source tasks' best
+        configurations in normalized task space; integer/categorical
+        dimensions snap via the space's denormalization.
+
+        Parameters
+        ----------
+        new_task:
+            The unseen task.
+        power:
+            IDW exponent (larger = more nearest-neighbour-like).
+        objective:
+            Which objective's optimum to transfer (for γ > 1 sources).
+        """
+        t_new = self.problem.task_space.normalize(new_task)
+        T = self.source.normalized_tasks()
+        best_units = np.vstack(
+            [
+                self.source.tuning_space.normalize(self.source.best(i, objective)[0])
+                for i in range(self.source.n_tasks)
+            ]
+        )
+        d = np.linalg.norm(T - t_new[None, :], axis=1)
+        if np.any(d < 1e-12):  # exact task match: return its optimum directly
+            i = int(np.argmin(d))
+            return dict(self.source.best(i, objective)[0])
+        w = 1.0 / d**power
+        w = w / w.sum()
+        blended = np.clip(w @ best_units, 0.0, 1.0)
+        cfg = self.problem.tuning_space.denormalize(blended)
+        if self.problem.is_feasible(new_task, cfg):
+            return cfg
+        # fall back to the nearest source task's (feasible-for-it) optimum
+        return dict(self.source.best(int(np.argmin(d)), objective)[0])
+
+    # -- TLA-MLA: few new evaluations ---------------------------------------
+    def tune(
+        self,
+        new_task: Mapping[str, Any],
+        n_samples: int,
+        options: Optional[Options] = None,
+        max_source_tasks: Optional[int] = None,
+        seed_with_tla0: bool = True,
+    ) -> TuneResult:
+        """Tune ``new_task`` with MLA warm-started from the frozen sources.
+
+        Parameters
+        ----------
+        new_task:
+            The unseen task; receives all ``n_samples`` evaluations.
+        n_samples:
+            ε_tot for the new task.
+        options:
+            Tuner options.
+        max_source_tasks:
+            Keep only the closest source tasks (in normalized task space) —
+            the LCM covariance is cubic in total samples, so pruning far
+            sources keeps transfer cheap.
+        seed_with_tla0:
+            Spend the first evaluation of the budget on the TLA-0 predicted
+            configuration (default True).  With tiny budgets this anchors
+            the new task's row of the LCM at the most promising point
+            instead of a purely space-filling one.
+
+        Returns
+        -------
+        :class:`~repro.core.mla.TuneResult` whose **last** task is the new
+        one (``result.best(result.data.n_tasks - 1)``).
+        """
+        t_new = self.problem.task_space.normalize(new_task)
+        T = self.source.normalized_tasks()
+        order = np.argsort(np.linalg.norm(T - t_new[None, :], axis=1))
+        keep = list(order[: max_source_tasks] if max_source_tasks else order)
+
+        new_task_dict = self.problem.task_space.to_dict(new_task)
+        tasks: List[Mapping[str, Any]] = [self.source.tasks[i] for i in keep]
+        tasks.append(new_task_dict)
+        records = [
+            rec
+            for i in keep
+            for rec in _task_records(self.source, i)
+        ]
+        if seed_with_tla0:
+            cfg0 = self.problem.tuning_space.round_trip(self.predict_config(new_task))
+            y0 = self.problem.evaluate(new_task_dict, cfg0)
+            records.append(
+                {"task": new_task_dict, "x": cfg0, "y": [float(v) for v in y0]}
+            )
+        tuner = GPTune(self.problem, options)
+        return tuner.tune(
+            tasks,
+            n_samples,
+            preload=records,
+            frozen=list(range(len(keep))),
+        )
+
+
+def _task_records(data: TuningData, task: int) -> List[Dict[str, Any]]:
+    """Records of one task only (helper for selective preloading)."""
+    return [
+        {"task": dict(data.tasks[task]), "x": dict(x), "y": [float(v) for v in y]}
+        for x, y in zip(data.X[task], data.Y[task])
+    ]

@@ -1,0 +1,82 @@
+"""Surrogate-quality diagnostics: leave-one-out cross-validation.
+
+GPTune users need to know whether the LCM can be trusted before spending
+the remaining budget on its suggestions.  Exact GP leave-one-out residuals
+come almost free from the fitted factorization (Sundararajan & Keerthi
+2001): with ``K⁻¹`` the inverse covariance, α = K⁻¹y,
+
+```
+μ_{-n} − y_n = −α_n / K⁻¹[n,n]         (LOO residual)
+σ²_{-n}      = 1 / K⁻¹[n,n]            (LOO predictive variance)
+```
+
+so no model is ever refitted.  :func:`loo_diagnostics` reports the usual
+summaries — RMSE, standardized residuals, and the log predictive density —
+for a fitted :class:`~repro.core.lcm.LCM`, overall and per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy import linalg as sla
+
+from .lcm import LCM
+
+__all__ = ["loo_residuals", "loo_diagnostics"]
+
+
+def loo_residuals(lcm: LCM) -> Dict[str, np.ndarray]:
+    """Exact leave-one-out residuals/variances of a fitted LCM.
+
+    Returns
+    -------
+    dict with ``"residual"`` (μ_{-n} − y_n), ``"variance"`` (σ²_{-n}) and
+    ``"standardized"`` (residual / σ_{-n}), all length-N arrays in the
+    model's (transformed) output units.
+    """
+    if lcm.theta is None or lcm._L is None:
+        raise RuntimeError("LCM is not fitted")
+    N = lcm.X.shape[0]
+    Kinv = sla.cho_solve((lcm._L, True), np.eye(N))
+    diag = np.clip(np.diag(Kinv), 1e-300, None)
+    alpha = lcm._alpha
+    residual = -alpha / diag
+    variance = 1.0 / diag
+    return {
+        "residual": residual,
+        "variance": variance,
+        "standardized": residual / np.sqrt(variance),
+    }
+
+
+def loo_diagnostics(lcm: LCM) -> Dict[str, float]:
+    """Summary statistics of the LOO residuals.
+
+    Returns
+    -------
+    dict with
+
+    * ``rmse`` — root-mean-square LOO error,
+    * ``mean_std_resid`` / ``std_std_resid`` — moments of the standardized
+      residuals (≈ 0 / ≈ 1 for a well-calibrated model),
+    * ``log_predictive`` — Σ log N(y_n | μ_{-n}, σ²_{-n}), the LOO
+      pseudo-likelihood (larger is better),
+    * per-task RMSE under keys ``rmse_task_<i>``.
+    """
+    r = loo_residuals(lcm)
+    res, var, std = r["residual"], r["variance"], r["standardized"]
+    out: Dict[str, float] = {
+        "rmse": float(np.sqrt(np.mean(res**2))),
+        "mean_std_resid": float(np.mean(std)),
+        "std_std_resid": float(np.std(std)),
+        "log_predictive": float(
+            -0.5 * np.sum(np.log(2 * np.pi * var) + res**2 / var)
+        ),
+    }
+    for i in range(lcm.params.delta):
+        mask = lcm.task_index == i
+        if mask.any():
+            out[f"rmse_task_{i}"] = float(np.sqrt(np.mean(res[mask] ** 2)))
+    return out

@@ -1,0 +1,223 @@
+"""Text rendering of benchmark results (figures without matplotlib).
+
+The benchmark harness saves every regenerated table/figure as JSON under
+``benchmarks/results/``.  This module turns those payloads back into
+terminal-friendly charts — scatter plots for Pareto fronts (Fig. 7), line
+charts for scaling curves (Fig. 3), and bar charts for per-task ratios
+(Fig. 6) — so `python -m repro.reporting benchmarks/results` reproduces the
+*figures*, not just the numbers, in any terminal.
+
+All renderers are pure functions from data to strings, which also makes
+them unit-testable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_chart", "scatter_plot", "render_results_dir", "main"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; an optional reference value is marked with '|'.
+
+    Parameters
+    ----------
+    labels, values:
+        Bar names and lengths (non-negative).
+    width:
+        Character budget for the longest bar.
+    reference:
+        Value to mark on every row (e.g. ratio = 1 in Fig. 6).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not values:
+        return f"{title}\n(empty)"
+    vmax = max(max(values), reference or 0.0) or 1.0
+    lw = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for lab, v in zip(labels, values):
+        if v < 0:
+            raise ValueError("bar values must be non-negative")
+        n = int(round(v / vmax * width))
+        bar = list("#" * n + " " * (width - n))
+        if reference is not None:
+            r = min(width - 1, int(round(reference / vmax * width)))
+            bar[r] = "|"
+        lines.append(f"{str(lab).rjust(lw)} {''.join(bar)} {v:.4g}")
+    return "\n".join(lines)
+
+
+def _axes(
+    xs: Sequence[float], ys: Sequence[float], width: int, height: int
+) -> Tuple[float, float, float, float]:
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    return x0, x1, y0, y1
+
+
+def scatter_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Multi-series ASCII scatter plot; each series gets its own glyph.
+
+    Parameters
+    ----------
+    series:
+        Mapping ``name -> (xs, ys)``; up to 8 series (glyphs ``*o+x^#@%``).
+    logx, logy:
+        Log-scale an axis (requires positive coordinates).
+    """
+    glyphs = "*o+x^#@%"
+    if len(series) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} series supported")
+    allx, ally = [], []
+    txd: Dict[str, Tuple[List[float], List[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        fx = [math.log10(v) for v in xs] if logx else list(map(float, xs))
+        fy = [math.log10(v) for v in ys] if logy else list(map(float, ys))
+        txd[name] = (fx, fy)
+        allx.extend(fx)
+        ally.extend(fy)
+    if not allx:
+        return f"{title}\n(empty)"
+    x0, x1, y0, y1 = _axes(allx, ally, width, height)
+    grid = [[" "] * width for _ in range(height)]
+    for gi, (name, (fx, fy)) in enumerate(txd.items()):
+        g = glyphs[gi]
+        for x, y in zip(fx, fy):
+            c = min(width - 1, int((x - x0) / (x1 - x0) * (width - 1)))
+            r = min(height - 1, int((y - y0) / (y1 - y0) * (height - 1)))
+            grid[height - 1 - r][c] = g
+    lines = [title] if title else []
+    ymax_lbl = f"{(10**y1 if logy else y1):.3g}"
+    ymin_lbl = f"{(10**y0 if logy else y0):.3g}"
+    for i, row in enumerate(grid):
+        prefix = ymax_lbl if i == 0 else (ymin_lbl if i == height - 1 else "")
+        lines.append(f"{prefix:>9} |{''.join(row)}|")
+    xmin_lbl = f"{(10**x0 if logx else x0):.3g}"
+    xmax_lbl = f"{(10**x1 if logx else x1):.3g}"
+    lines.append(f"{'':>9}  {xmin_lbl}{' ' * max(1, width - len(xmin_lbl) - len(xmax_lbl))}{xmax_lbl}")
+    legend = "   ".join(f"{glyphs[i]} {name}" for i, name in enumerate(series))
+    lines.append(f"{'':>9}  {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 56,
+    height: int = 14,
+    logy: bool = False,
+) -> str:
+    """Shared-x multi-series chart (markers only; x must be increasing)."""
+    pts = {name: (xs, ys) for name, ys in series.items()}
+    return scatter_plot(pts, title=title, width=width, height=height, logy=logy)
+
+
+# -- results-directory renderer ------------------------------------------------
+
+
+def _render_fig7(payload: dict) -> str:
+    out = []
+    for matrix, rec in payload.items():
+        fm = rec.get("front_multi", [])
+        fs = rec.get("front_single", [])
+        if not fm or not fs:
+            continue
+        out.append(
+            scatter_plot(
+                {
+                    "multitask": ([p[0] for p in fm], [p[1] for p in fm]),
+                    "single-task": ([p[0] for p in fs], [p[1] for p in fs]),
+                },
+                title=f"Fig. 7 right ({matrix}): Pareto fronts, time vs memory (log-log)",
+                logx=True,
+                logy=True,
+            )
+        )
+    return "\n\n".join(out)
+
+
+def _render_fig6(payload: dict, name: str) -> str:
+    gpt = payload["gptune"]
+    labels = [f"task{i}" for i in range(len(gpt))]
+    ot = [o / g for o, g in zip(payload["opentuner"], gpt)]
+    hb = [h / g for h, g in zip(payload["hpbandster"], gpt)]
+    a = bar_chart(labels, ot, title=f"{name}: OpenTuner/GPTune best-runtime ratio", reference=1.0)
+    b = bar_chart(labels, hb, title=f"{name}: HpBandSter/GPTune best-runtime ratio", reference=1.0)
+    return a + "\n\n" + b
+
+
+def _render_fig3(payload: dict) -> str:
+    meas = payload.get("measured", [])
+    if not meas:
+        return ""
+    xs = [m["N"] for m in meas]
+    return line_chart(
+        xs,
+        {
+            "modeling s": [m["modeling_s"] for m in meas],
+            "search s": [m["search_s"] for m in meas],
+        },
+        title="Fig. 3: measured serial phase times vs N = εδ (log y)",
+        logy=True,
+    )
+
+
+def render_results_dir(path: str) -> str:
+    """Render every recognized result JSON under ``path`` to one report."""
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"no results directory at {path}")
+    sections: List[str] = []
+    for fname in sorted(os.listdir(path)):
+        if not fname.endswith(".json"):
+            continue
+        with open(os.path.join(path, fname), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        stem = fname[:-5]
+        try:
+            if stem == "fig7_right_multitask":
+                sections.append(_render_fig7(payload))
+            elif stem.startswith("fig6_"):
+                sections.append(_render_fig6(payload, stem))
+            elif stem == "fig3_scaling":
+                sections.append(_render_fig3(payload))
+        except (KeyError, ValueError, TypeError):
+            sections.append(f"({fname}: unrenderable payload)")
+    return "\n\n".join(s for s in sections if s)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.reporting [results_dir]``."""
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else os.path.join("benchmarks", "results")
+    print(render_results_dir(path))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Parallel runtime substrate: machine models, simulated MPI, executors."""
+
+from .distributed_linalg import (
+    cholesky_spmd,
+    distributed_cholesky,
+    distributed_forward_solve,
+    forward_substitution_spmd,
+)
+from .executor import ProcessBackend, SerialBackend, ThreadBackend, make_executor
+from .machine import Machine, cori_haswell, laptop
+from .mpi import InterComm, Request, SimComm, SimJob, run_spmd
+from .simclock import SimClock
+from .trace import TraceEvent, Tracer, traced
+
+__all__ = [
+    "InterComm",
+    "Machine",
+    "ProcessBackend",
+    "Request",
+    "SerialBackend",
+    "SimClock",
+    "SimComm",
+    "SimJob",
+    "ThreadBackend",
+    "TraceEvent",
+    "Tracer",
+    "cholesky_spmd",
+    "cori_haswell",
+    "distributed_cholesky",
+    "distributed_forward_solve",
+    "forward_substitution_spmd",
+    "traced",
+    "laptop",
+    "make_executor",
+    "run_spmd",
+]

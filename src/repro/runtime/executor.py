@@ -1,0 +1,122 @@
+"""Executor backends for the tuner's own parallelism.
+
+GPTune parallelizes its modeling phase (multi-start L-BFGS restarts) and
+search phase (per-task EI optimization) over workers (Sec. 4.3).  On real
+installations that is MPI spawning; here the same call sites take any object
+with ``map(fn, iterable) -> list``:
+
+* :class:`SerialBackend` — plain loop (deterministic baseline),
+* :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor`` (NumPy
+  and SciPy release the GIL inside BLAS/LAPACK, so restarts overlap),
+* :class:`ProcessBackend` — ``ProcessPoolExecutor`` for true multi-core
+  parallelism (work functions must be picklable).
+
+:func:`make_executor` builds one from an :class:`~repro.core.options.Options`
+backend string.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, Iterable, List
+
+__all__ = ["SerialBackend", "ThreadBackend", "ProcessBackend", "make_executor"]
+
+
+class SerialBackend:
+    """In-order, in-process execution."""
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item sequentially."""
+        return [fn(x) for x in items]
+
+    def shutdown(self) -> None:
+        """No resources to release."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+class ThreadBackend:
+    """Thread-pool execution (good for GIL-releasing numeric work).
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.
+    """
+
+    def __init__(self, n_workers: int = 2):
+        if n_workers < 1:
+            raise ValueError("need n_workers >= 1")
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=int(n_workers))
+        self.n_workers = int(n_workers)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` concurrently, preserving input order."""
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        """Release the pool's threads."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+class ProcessBackend:
+    """Process-pool execution (requires picklable work functions).
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.
+    """
+
+    def __init__(self, n_workers: int = 2):
+        if n_workers < 1:
+            raise ValueError("need n_workers >= 1")
+        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=int(n_workers))
+        self.n_workers = int(n_workers)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` across processes, preserving input order."""
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+def make_executor(backend: str, n_workers: int = 2):
+    """Build an executor from an options string.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    n_workers:
+        Worker count for the pooled backends.
+    """
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "thread":
+        return ThreadBackend(n_workers)
+    if backend == "process":
+        return ProcessBackend(n_workers)
+    raise ValueError(f"unknown backend {backend!r}")

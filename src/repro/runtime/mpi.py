@@ -1,0 +1,482 @@
+"""Simulated MPI: a thread-per-rank SPMD engine with virtual time.
+
+GPTune's parallel implementation (Sec. 4) relies on MPI dynamic process
+management: one master process runs the Python driver and *spawns* worker
+groups for function evaluation, modeling, and search; masters and workers
+talk over inter-communicators (Fig. 1 of the paper).  This module reproduces
+that programming model without an MPI installation:
+
+* each rank is a Python thread executing the user's SPMD function,
+* :class:`SimComm` provides ``send/recv``, ``bcast``, ``scatter/gather``,
+  ``reduce/allreduce``, ``barrier`` and ``Spawn`` with mpi4py-like semantics,
+* every operation charges *simulated* seconds to per-rank
+  :class:`~repro.runtime.simclock.SimClock` objects using the α-β cost model
+  of :mod:`repro.runtime.costmodel`, and ``compute(seconds)`` charges local
+  work,
+* the job's simulated makespan is the maximum rank clock at completion.
+
+Message causality is honored: a receive completes at
+``max(receiver_clock, sender_send_time) + α + nβ``; collectives synchronize
+the group to ``max(clocks) + collective_cost``.  Payload sizes are estimated
+with ``pickle`` so cost scales with real data volume.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import costmodel
+from .machine import Machine
+from .simclock import SimClock
+
+__all__ = ["SimComm", "InterComm", "SimJob", "Request", "run_spmd", "payload_bytes"]
+
+_RECV_TIMEOUT = 60.0  # real seconds before declaring deadlock
+
+
+def payload_bytes(obj: Any) -> int:
+    """Approximate wire size of a Python object (pickle length)."""
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+class _Mailbox:
+    """Per-rank mailbox with (source, tag) matching."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._queues: Dict[Tuple[int, int], deque] = {}
+
+    def put(self, source: int, tag: int, item: Tuple[Any, float]) -> None:
+        with self._cond:
+            self._queues.setdefault((source, tag), deque()).append(item)
+            self._cond.notify_all()
+
+    def has(self, source: int, tag: int) -> bool:
+        """Non-blocking probe for a matching message."""
+        with self._cond:
+            q = self._queues.get((source, tag))
+            return bool(q)
+
+    def get(self, source: int, tag: int) -> Tuple[Any, float]:
+        with self._cond:
+            key = (source, tag)
+            ok = self._cond.wait_for(
+                lambda: self._queues.get(key) and len(self._queues[key]) > 0,
+                timeout=_RECV_TIMEOUT,
+            )
+            if not ok:
+                raise RuntimeError(
+                    f"simulated MPI deadlock: recv(source={source}, tag={tag}) timed out"
+                )
+            return self._queues[key].popleft()
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py's ``Request`` shape).
+
+    ``isend`` completes immediately (buffered semantics); ``irecv`` defers
+    the matching until :meth:`wait`/:meth:`test`.  Time accounting happens
+    at completion, mirroring how overlap hides latency: the receiver's
+    clock only advances when it actually needs the data.
+    """
+
+    def __init__(self, complete_fn=None, result: Any = None, done: bool = False):
+        self._complete = complete_fn
+        self._result = result
+        self._done = done
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received object (or None)."""
+        if not self._done:
+            self._result = self._complete()
+            self._done = True
+        return self._result
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-destructive completion probe: ``(done, result_or_None)``.
+
+        For receives, probes the mailbox without blocking; a ready message
+        is absorbed (subsequent ``wait`` returns it immediately).
+        """
+        if self._done:
+            return True, self._result
+        if self._probe is not None and not self._probe():
+            return False, None
+        return True, self.wait()
+
+    _probe = None
+
+
+class _Group:
+    """Shared state of one communicator group."""
+
+    def __init__(self, size: int, machine: Machine):
+        self.size = size
+        self.machine = machine
+        self.clocks = [SimClock() for _ in range(size)]
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self._slot: List[Any] = [None] * size
+
+    def sync_clocks(self, extra: float) -> float:
+        """Advance every clock to ``max(clocks) + extra``; returns new time."""
+        with self.lock:
+            t = max(c.now for c in self.clocks) + extra
+            for c in self.clocks:
+                c.advance_to(t)
+            return t
+
+
+class SimComm:
+    """A rank's view of an intra-communicator.
+
+    Mirrors the mpi4py lowercase (pickle-based) API.  All methods charge
+    simulated time; ``compute`` charges pure local work.
+    """
+
+    def __init__(self, group: _Group, rank: int, parent: Optional["InterComm"] = None):
+        self._group = group
+        self.rank = rank
+        self.size = group.size
+        self._parent = parent
+        self._children: List[SimJob] = []
+
+    # -- introspection, mirrors mpi4py -----------------------------------
+    def Get_rank(self) -> int:
+        """Rank of the calling thread within this communicator."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """Number of ranks in this communicator."""
+        return self.size
+
+    def Get_parent(self) -> Optional["InterComm"]:
+        """Inter-communicator to the spawner (None for the root world)."""
+        return self._parent
+
+    @property
+    def clock(self) -> SimClock:
+        """This rank's virtual clock."""
+        return self._group.clocks[self.rank]
+
+    @property
+    def machine(self) -> Machine:
+        """The machine the communicator is priced against."""
+        return self._group.machine
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of local computation to this rank."""
+        self.clock.advance(seconds)
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (time charged at the receiver)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad dest {dest}")
+        self._group.mailboxes[dest].put(self.rank, tag, (obj, self.clock.now))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive; completes at ``max(t_recv, t_send) + α + nβ``."""
+        obj, t_sent = self._group.mailboxes[self.rank].get(source, tag)
+        cost = costmodel.pt2pt_time(self.machine, payload_bytes(obj))
+        self.clock.advance_to(t_sent)
+        self.clock.advance(cost)
+        return obj
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (buffered: completes immediately)."""
+        self.send(obj, dest, tag)
+        return Request(result=None, done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; the message is absorbed at wait()/test().
+
+        Computation issued between ``irecv`` and ``wait`` overlaps the
+        transfer: the receive completes at
+        ``max(clock_at_wait, t_send) + α + nβ``.
+        """
+        req = Request(complete_fn=lambda: self.recv(source, tag))
+        req._probe = lambda: self._group.mailboxes[self.rank].has(source, tag)
+        return req
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize the group (dissemination-barrier cost)."""
+        self._group.barrier.wait()
+        self._group.sync_clocks(costmodel.barrier_time(self.machine, self.size))
+        self._group.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast from ``root`` (binomial-tree cost)."""
+        g = self._group
+        if self.rank == root:
+            g._slot[0] = obj
+        g.barrier.wait()
+        cost = costmodel.bcast_time(self.machine, payload_bytes(g._slot[0]), self.size)
+        g.sync_clocks(cost)
+        out = g._slot[0]
+        g.barrier.wait()
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank to ``root``."""
+        g = self._group
+        g._slot[self.rank] = obj
+        g.barrier.wait()
+        cost = costmodel.gather_time(self.machine, payload_bytes(obj), self.size)
+        g.sync_clocks(cost)
+        out = list(g._slot) if self.rank == root else None
+        g.barrier.wait()
+        return out
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather to all ranks (recursive-doubling cost:
+        ``log2(p)·α + (p−1)·payload·β``)."""
+        g = self._group
+        g._slot[self.rank] = obj
+        g.barrier.wait()
+        nbytes = payload_bytes(obj)
+        if self.size > 1:
+            cost = (
+                math.ceil(math.log2(self.size)) * self.machine.latency
+                + (self.size - 1) * nbytes * self.machine.inv_bandwidth
+            )
+        else:
+            cost = 0.0
+        g.sync_clocks(cost)
+        out = list(g._slot)
+        g.barrier.wait()
+        return out
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``."""
+        g = self._group
+        if self.rank == root:
+            objs = list(objs or [])
+            if len(objs) != self.size:
+                raise ValueError(f"scatter needs {self.size} items, got {len(objs)}")
+            for i, o in enumerate(objs):
+                g._slot[i] = o
+        g.barrier.wait()
+        cost = costmodel.gather_time(self.machine, payload_bytes(g._slot[self.rank]), self.size)
+        g.sync_clocks(cost)
+        out = g._slot[self.rank]
+        g.barrier.wait()
+        return out
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0) -> Any:
+        """Reduce with a binary op (default: ``+``); result valid at ``root``."""
+        vals = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        op = op or (lambda a, b: a + b)
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce-to-all (recursive-doubling cost)."""
+        vals = self.allgather(obj)
+        op = op or (lambda a, b: a + b)
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    # -- dynamic process management (Fig. 1) ------------------------------
+    def Spawn(
+        self,
+        fn: Callable[["SimComm"], Any],
+        nprocs: int,
+        args: Tuple = (),
+        machine: Optional[Machine] = None,
+    ) -> "InterComm":
+        """Spawn a worker group; returns the master-side inter-communicator.
+
+        Mirrors GPTune's use of ``mpi4py``'s ``Spawn``: the caller becomes
+        the local leader, the child group gets its own ``MPI_World`` whose
+        ranks see the inter-communicator via ``Get_parent()``.  Child clocks
+        start at the spawner's current time.
+        """
+        inter = InterComm(self, nprocs, machine or self.machine)
+        job = SimJob(
+            nprocs,
+            fn,
+            args=args,
+            machine=machine or self.machine,
+            parent=inter,
+            start_time=self.clock.now,
+        )
+        inter._job = job
+        self._children.append(job)
+        job.start()
+        return inter
+
+
+class InterComm:
+    """Inter-communicator between a spawner and a spawned worker group.
+
+    The master addresses workers by remote rank; workers address the master
+    as remote rank 0 (mpi4py's convention for a single-process parent).
+    """
+
+    def __init__(self, master: SimComm, remote_size: int, machine: Machine):
+        self._master = master
+        self.remote_size = remote_size
+        self.machine = machine
+        self._to_workers = [_Mailbox() for _ in range(remote_size)]
+        self._to_master = _Mailbox()
+        self._job: Optional[SimJob] = None
+        self._worker_clocks: List[SimClock] = []
+
+    # -- master side -------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Master → worker ``dest``."""
+        self._to_workers[dest].put(0, tag, (obj, self._master.clock.now))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Master ← worker ``source``."""
+        obj, t_sent = self._to_master.get(source, tag)
+        self._master.clock.advance_to(t_sent)
+        self._master.clock.advance(costmodel.pt2pt_time(self.machine, payload_bytes(obj)))
+        return obj
+
+    def bcast_to_workers(self, obj: Any) -> None:
+        """Master broadcast over the inter-communicator."""
+        for d in range(self.remote_size):
+            self.send(obj, d, tag=-1)
+
+    def gather_from_workers(self) -> List[Any]:
+        """Collect one object per worker (workers call ``send_to_master``)."""
+        return [self.recv(s, tag=-2) for s in range(self.remote_size)]
+
+    def Disconnect(self) -> float:
+        """Wait for the worker group; master clock absorbs the group makespan.
+
+        Returns the worker group's simulated makespan.
+        """
+        assert self._job is not None
+        self._job.join()
+        t = self._job.makespan
+        self._master.clock.advance_to(t)
+        return t
+
+    # -- worker side -----------------------------------------------------
+    def worker_send(self, comm: SimComm, obj: Any, tag: int = 0) -> None:
+        """Worker → master."""
+        self._to_master.put(comm.rank, tag, (obj, comm.clock.now))
+
+    def worker_recv(self, comm: SimComm, tag: int = 0) -> Any:
+        """Worker ← master."""
+        obj, t_sent = self._to_workers[comm.rank].get(0, tag)
+        comm.clock.advance_to(t_sent)
+        comm.clock.advance(costmodel.pt2pt_time(self.machine, payload_bytes(obj)))
+        return obj
+
+    def worker_recv_bcast(self, comm: SimComm) -> Any:
+        """Worker side of :meth:`bcast_to_workers`."""
+        return self.worker_recv(comm, tag=-1)
+
+    def worker_send_result(self, comm: SimComm, obj: Any) -> None:
+        """Worker side of :meth:`gather_from_workers`."""
+        self.worker_send(comm, obj, tag=-2)
+
+
+class SimJob:
+    """A running SPMD job: one thread per rank.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks.
+    fn:
+        SPMD function ``fn(comm, *args)`` executed by every rank.
+    args:
+        Extra positional arguments.
+    machine:
+        Machine model pricing the job's communication/compute.
+    parent:
+        Inter-communicator when this group was spawned.
+    start_time:
+        Initial simulated time of all rank clocks.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        fn: Callable[..., Any],
+        args: Tuple = (),
+        machine: Optional[Machine] = None,
+        parent: Optional[InterComm] = None,
+        start_time: float = 0.0,
+    ):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = int(nranks)
+        self.fn = fn
+        self.args = tuple(args)
+        self.machine = machine or Machine()
+        self.group = _Group(self.nranks, self.machine)
+        for c in self.group.clocks:
+            c.reset(start_time)
+        self.parent = parent
+        self.results: List[Any] = [None] * self.nranks
+        self.errors: List[Optional[BaseException]] = [None] * self.nranks
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> "SimJob":
+        """Launch all rank threads (non-blocking)."""
+        def runner(rank: int) -> None:
+            comm = SimComm(self.group, rank, parent=self.parent)
+            try:
+                self.results[rank] = self.fn(comm, *self.args)
+            except BaseException as exc:  # surfaced in join()
+                self.errors[rank] = exc
+                self.group.barrier.abort()
+
+        for r in range(self.nranks):
+            t = threading.Thread(target=runner, args=(r,), daemon=True)
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def join(self) -> List[Any]:
+        """Wait for completion; re-raises the first rank error, if any."""
+        for t in self._threads:
+            t.join()
+        for exc in self.errors:
+            if exc is not None:
+                raise exc
+        return self.results
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time: the maximum rank clock."""
+        return max(c.now for c in self.group.clocks)
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    args: Tuple = (),
+    machine: Optional[Machine] = None,
+) -> Tuple[List[Any], float]:
+    """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks.
+
+    Returns
+    -------
+    ``(results, makespan)`` — per-rank return values and the simulated wall
+    time of the job.
+    """
+    job = SimJob(nranks, fn, args=args, machine=machine).start()
+    results = job.join()
+    return results, job.makespan

@@ -1,0 +1,100 @@
+"""Common interface for single-task baseline tuners.
+
+The paper compares GPTune against OpenTuner and HpBandSter, which "do not
+support multitask learning", so they are run separately on each task
+(Sec. 6.6).  Every baseline here implements
+
+``tune(problem, task, n_samples, seed) -> TuneRecord``
+
+over the same :class:`~repro.core.problem.TuningProblem` the MLA driver
+consumes, which makes head-to-head comparisons one-liners in the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import TuningProblem
+
+__all__ = ["TuneRecord", "Tuner"]
+
+
+class TuneRecord:
+    """Evaluation log of one single-task tuning run.
+
+    Attributes
+    ----------
+    task:
+        The task tuned.
+    configs:
+        Native configurations in evaluation order.
+    values:
+        ``(n, γ)`` objective values in evaluation order.
+    """
+
+    def __init__(self, task: Mapping[str, Any], n_objectives: int = 1):
+        self.task = dict(task)
+        self.configs: List[Dict[str, Any]] = []
+        self.values_list: List[np.ndarray] = []
+        self.n_objectives = int(n_objectives)
+
+    def add(self, config: Mapping[str, Any], y: Any) -> None:
+        """Record one evaluation."""
+        yv = np.atleast_1d(np.asarray(y, dtype=float))
+        if yv.shape != (self.n_objectives,):
+            raise ValueError(f"expected {self.n_objectives} objectives, got {yv.shape}")
+        self.configs.append(dict(config))
+        self.values_list.append(yv)
+
+    @property
+    def values(self) -> np.ndarray:
+        """``(n, γ)`` objective matrix."""
+        if not self.values_list:
+            return np.empty((0, self.n_objectives))
+        return np.vstack(self.values_list)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def best(self, objective: int = 0) -> Tuple[Dict[str, Any], float]:
+        """Best ``(config, value)`` for one objective."""
+        if not self.configs:
+            raise ValueError("no evaluations recorded")
+        ys = self.values[:, objective]
+        i = int(np.argmin(ys))
+        return self.configs[i], float(ys[i])
+
+    def trajectory(self, objective: int = 0) -> np.ndarray:
+        """Best-so-far curve (anytime performance)."""
+        return np.minimum.accumulate(self.values[:, objective])
+
+
+class Tuner:
+    """Base class: budgeted evaluation loop plumbing for baselines."""
+
+    name = "tuner"
+
+    def tune(
+        self,
+        problem: TuningProblem,
+        task: Mapping[str, Any],
+        n_samples: int,
+        seed: Optional[int] = None,
+    ) -> TuneRecord:
+        """Tune one task with a budget of ``n_samples`` evaluations."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+    @staticmethod
+    def _evaluate(
+        problem: TuningProblem,
+        record: TuneRecord,
+        config: Mapping[str, Any],
+    ) -> float:
+        """Evaluate, record, and return the first objective value."""
+        y = problem.evaluate(record.task, config)
+        record.add(problem.tuning_space.round_trip(config), y)
+        return float(y[0])

@@ -1,0 +1,8 @@
+"""HpBandSter-style tuners: the TPE BO core (paper comparison mode) and
+the hyperband/successive-halving multi-fidelity component (Sec. 5)."""
+
+from .hyperband import HyperbandTuner, SuccessiveHalvingTuner
+from .kde import ProductKDE
+from .tpe import HpBandSterTuner
+
+__all__ = ["HpBandSterTuner", "HyperbandTuner", "ProductKDE", "SuccessiveHalvingTuner"]

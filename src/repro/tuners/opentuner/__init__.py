@@ -1,0 +1,23 @@
+"""OpenTuner-style ensemble tuner and its model-free techniques."""
+
+from .annealing import SimulatedAnnealingTechnique
+from .bandit import DEFAULT_TECHNIQUES, OpenTunerTuner
+from .de import DifferentialEvolutionTechnique
+from .ga import GeneticAlgorithmTechnique
+from .neldermead import NelderMeadTechnique
+from .pattern import PatternSearchTechnique
+from .pso_technique import PSOTechnique
+from .technique import RandomTechnique, Technique
+
+__all__ = [
+    "DEFAULT_TECHNIQUES",
+    "DifferentialEvolutionTechnique",
+    "GeneticAlgorithmTechnique",
+    "NelderMeadTechnique",
+    "OpenTunerTuner",
+    "PSOTechnique",
+    "PatternSearchTechnique",
+    "RandomTechnique",
+    "SimulatedAnnealingTechnique",
+    "Technique",
+]

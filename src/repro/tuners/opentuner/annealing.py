@@ -1,0 +1,62 @@
+"""Simulated-annealing technique (Kirkpatrick, Gelatt & Vecchi 1983).
+
+A random-walk around the current state with a geometric cooling schedule;
+worse moves are accepted with probability ``exp(-Δ/T)``.  One of the global
+model-free methods cited in Sec. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["SimulatedAnnealingTechnique"]
+
+
+class SimulatedAnnealingTechnique(Technique):
+    """SA with Gaussian proposal kernel and geometric cooling."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        *args,
+        t_initial: float = 1.0,
+        cooling: float = 0.9,
+        step: float = 0.15,
+        **kw,
+    ):
+        super().__init__(*args, **kw)
+        self.temperature = float(t_initial)
+        self.cooling = float(cooling)
+        self.step = float(step)
+        self.state: Optional[np.ndarray] = None
+        self.state_value: float = np.inf
+        self._pending: Optional[np.ndarray] = None
+
+    def ask(self) -> Dict[str, Any]:
+        if self.state is None:
+            cfg = self._random_feasible()
+            self._pending = self._unit(cfg)
+            return cfg
+        scale = self.step * max(self.temperature, 0.05)
+        proposal = np.clip(self.state + self.rng.normal(0, scale, self.state.shape), 0, 1)
+        cfg = self._feasible_or_random(proposal)
+        self._pending = self._unit(cfg)
+        return cfg
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        if not mine:
+            return
+        u = self._unit(config)
+        if self.state is None:
+            self.state, self.state_value = u, float(value)
+            return
+        delta = float(value) - self.state_value
+        if delta <= 0 or self.rng.random() < np.exp(-delta / max(self.temperature, 1e-9)):
+            self.state, self.state_value = u, float(value)
+        self.temperature *= self.cooling

@@ -1,0 +1,47 @@
+"""Differential-evolution technique (rand/1/bin).
+
+Proposals are ``a + F·(b − c)`` over three distinct population members with
+binomial crossover against a random base member — OpenTuner ships several DE
+variants; rand/1/bin is its default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["DifferentialEvolutionTechnique"]
+
+
+class DifferentialEvolutionTechnique(Technique):
+    """DE/rand/1/bin over the normalized tuning space."""
+
+    name = "de"
+
+    def __init__(self, *args, population_size: int = 12, f: float = 0.6, cr: float = 0.8, **kw):
+        super().__init__(*args, **kw)
+        self.population_size = max(4, int(population_size))
+        self.f = float(f)
+        self.cr = float(cr)
+        self.population: List[Tuple[np.ndarray, float]] = []
+
+    def ask(self) -> Dict[str, Any]:
+        if len(self.population) < 4:
+            return self._random_feasible()
+        idx = self.rng.choice(len(self.population), 4, replace=False)
+        base, a, b, c = (self.population[i][0] for i in idx)
+        mutant = a + self.f * (b - c)
+        cross = self.rng.random(base.shape[0]) < self.cr
+        cross[self.rng.integers(0, base.shape[0])] = True  # at least one gene
+        trial = np.where(cross, mutant, base)
+        return self._feasible_or_random(trial)
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        self.population.append((self._unit(config), float(value)))
+        if len(self.population) > self.population_size:
+            worst = max(range(len(self.population)), key=lambda k: self.population[k][1])
+            self.population.pop(worst)

@@ -1,0 +1,52 @@
+"""Genetic-algorithm technique (Srinivas & Patnaik 1994 style).
+
+Maintains a fixed-size population of evaluated configurations; proposals are
+produced by binary-tournament parent selection, uniform crossover in the
+normalized space, and per-gene Gaussian mutation.  One of the global
+model-free methods OpenTuner's bandit can select (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["GeneticAlgorithmTechnique"]
+
+
+class GeneticAlgorithmTechnique(Technique):
+    """Steady-state GA over the normalized tuning space."""
+
+    name = "ga"
+
+    def __init__(self, *args, population_size: int = 10, mutation_rate: float = 0.15, **kw):
+        super().__init__(*args, **kw)
+        self.population_size = max(2, int(population_size))
+        self.mutation_rate = float(mutation_rate)
+        self.population: List[Tuple[np.ndarray, float]] = []
+
+    def _tournament(self) -> np.ndarray:
+        i, j = self.rng.integers(0, len(self.population), 2)
+        a, b = self.population[i], self.population[j]
+        return a[0] if a[1] <= b[1] else b[0]
+
+    def ask(self) -> Dict[str, Any]:
+        if len(self.population) < 2:
+            return self._random_feasible()
+        p1, p2 = self._tournament(), self._tournament()
+        mask = self.rng.random(p1.shape[0]) < 0.5
+        child = np.where(mask, p1, p2)
+        genes = self.rng.random(child.shape[0]) < self.mutation_rate
+        child = np.where(genes, np.clip(child + self.rng.normal(0, 0.15, child.shape), 0, 1), child)
+        return self._feasible_or_random(child)
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        self.population.append((self._unit(config), float(value)))
+        if len(self.population) > self.population_size:
+            # drop the worst member (steady-state elitism)
+            worst = max(range(len(self.population)), key=lambda k: self.population[k][1])
+            self.population.pop(worst)

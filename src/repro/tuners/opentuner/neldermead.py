@@ -1,0 +1,113 @@
+"""Nelder–Mead simplex technique (Nelder & Mead 1965).
+
+The classic derivative-free *local* method (Sec. 5 groups it with Orthogonal
+Search as local approaches).  The simplex lives in the normalized space;
+integer and categorical dimensions are handled by the space's snapping in
+``denormalize``.  The ask/tell adaptation runs the standard
+reflect → expand → contract → shrink state machine one evaluation at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["NelderMeadTechnique"]
+
+
+class NelderMeadTechnique(Technique):
+    """Sequential Nelder–Mead with unit-cube clipping."""
+
+    name = "neldermead"
+
+    _ALPHA, _GAMMA, _RHO, _SIGMA = 1.0, 2.0, 0.5, 0.5
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        d = self.space.dimension
+        self.simplex: List[Tuple[np.ndarray, float]] = []
+        self._init_needed = d + 1
+        self._phase = "init"
+        self._pending: Optional[np.ndarray] = None
+        self._reflected: Optional[Tuple[np.ndarray, float]] = None
+        self._shrink_queue: List[np.ndarray] = []
+
+    # -- geometry helpers ---------------------------------------------------
+    def _centroid(self) -> np.ndarray:
+        pts = np.vstack([p for p, _ in self.simplex[:-1]])
+        return pts.mean(axis=0)
+
+    def _propose(self, point: np.ndarray) -> Dict[str, Any]:
+        self._pending = np.clip(point, 0.0, 1.0)
+        return self._feasible_or_random(self._pending)
+
+    def ask(self) -> Dict[str, Any]:
+        if len(self.simplex) < self._init_needed:
+            cfg = self._random_feasible()
+            self._pending = self._unit(cfg)
+            self._phase = "init"
+            return cfg
+        self.simplex.sort(key=lambda s: s[1])
+        best, worst = self.simplex[0][0], self.simplex[-1][0]
+        c = self._centroid()
+        if self._phase in ("init", "reflect"):
+            self._phase = "reflect"
+            return self._propose(c + self._ALPHA * (c - worst))
+        if self._phase == "expand":
+            return self._propose(c + self._GAMMA * (self._reflected[0] - c))
+        if self._phase == "contract":
+            return self._propose(c + self._RHO * (worst - c))
+        if self._phase == "shrink":
+            nxt = self._shrink_queue.pop()
+            return self._propose(best + self._SIGMA * (nxt - best))
+        raise AssertionError(f"bad phase {self._phase}")  # pragma: no cover
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        if not mine:
+            return
+        u = self._unit(config)
+        v = float(value)
+        if len(self.simplex) < self._init_needed:
+            self.simplex.append((u, v))
+            if len(self.simplex) == self._init_needed:
+                self._phase = "reflect"
+            return
+        self.simplex.sort(key=lambda s: s[1])
+        f_best, f_second_worst, f_worst = (
+            self.simplex[0][1],
+            self.simplex[-2][1],
+            self.simplex[-1][1],
+        )
+        if self._phase == "reflect":
+            if v < f_best:
+                self._reflected = (u, v)
+                self._phase = "expand"
+            elif v < f_second_worst:
+                self.simplex[-1] = (u, v)
+                self._phase = "reflect"
+            else:
+                self._reflected = (u, v)
+                self._phase = "contract"
+        elif self._phase == "expand":
+            better = (u, v) if v < self._reflected[1] else self._reflected
+            self.simplex[-1] = better
+            self._phase = "reflect"
+        elif self._phase == "contract":
+            if v < min(f_worst, self._reflected[1]):
+                self.simplex[-1] = (u, v)
+                self._phase = "reflect"
+            else:
+                # shrink everything toward the best vertex
+                self._shrink_queue = [p for p, _ in self.simplex[1:]]
+                self.simplex = self.simplex[:1]
+                self._phase = "shrink"
+        elif self._phase == "shrink":
+            self.simplex.append((u, v))
+            if not self._shrink_queue:
+                self._phase = (
+                    "reflect" if len(self.simplex) >= self._init_needed else "init"
+                )

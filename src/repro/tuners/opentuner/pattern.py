@@ -1,0 +1,60 @@
+"""Pattern (orthogonal) search technique.
+
+Polls the ``2β`` axis neighbours of the incumbent at a step size that halves
+whenever a full poll fails to improve — the "Orthogonal Search" local method
+cited in Sec. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["PatternSearchTechnique"]
+
+
+class PatternSearchTechnique(Technique):
+    """Coordinate pattern search with halving steps."""
+
+    name = "pattern"
+
+    def __init__(self, *args, step: float = 0.25, min_step: float = 1e-3, **kw):
+        super().__init__(*args, **kw)
+        self.step = float(step)
+        self.min_step = float(min_step)
+        self.center: Optional[np.ndarray] = None
+        self.center_value: float = np.inf
+        self._direction = 0  # index into the 2β poll directions
+        self._improved_this_sweep = False
+
+    def ask(self) -> Dict[str, Any]:
+        if self.center is None:
+            cfg = self._random_feasible()
+            return cfg
+        d = self.space.dimension
+        axis, sign = divmod(self._direction, 2)
+        delta = np.zeros(d)
+        delta[axis] = self.step if sign == 0 else -self.step
+        return self._feasible_or_random(self.center + delta)
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        u = self._unit(config)
+        v = float(value)
+        if self.center is None:
+            self.center, self.center_value = u, v
+            return
+        if v < self.center_value:
+            self.center, self.center_value = u, v
+            self._improved_this_sweep = True
+        if not mine:
+            return
+        self._direction += 1
+        if self._direction >= 2 * self.space.dimension:
+            self._direction = 0
+            if not self._improved_this_sweep:
+                self.step = max(self.step * 0.5, self.min_step)
+            self._improved_this_sweep = False

@@ -1,0 +1,101 @@
+"""Particle-swarm technique for the OpenTuner-style ensemble.
+
+Sec. 5 lists PSO (Kennedy & Eberhart) among the global model-free methods
+the OpenTuner family draws on.  Unlike :class:`repro.core.search.pso`
+(which optimizes the *cheap* acquisition with many internal evaluations),
+this technique advances one particle per ``ask`` against the *expensive*
+objective — the sequential, budget-frugal form an ensemble arm needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from .technique import Technique
+
+__all__ = ["PSOTechnique"]
+
+
+class PSOTechnique(Technique):
+    """Round-robin particle swarm over the expensive objective.
+
+    Parameters
+    ----------
+    swarm_size:
+        Number of particles cycled through.
+    inertia, cognitive, social:
+        Classic PSO coefficients.
+    """
+
+    name = "pso"
+
+    def __init__(
+        self,
+        *args,
+        swarm_size: int = 6,
+        inertia: float = 0.7,
+        cognitive: float = 1.4,
+        social: float = 1.4,
+        **kw,
+    ):
+        super().__init__(*args, **kw)
+        self.swarm_size = max(2, int(swarm_size))
+        self.inertia = float(inertia)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+        d = self.space.dimension
+        self.pos: Optional[np.ndarray] = None
+        self.vel = self.rng.uniform(-0.1, 0.1, (self.swarm_size, d))
+        self.pbest = np.zeros((self.swarm_size, d))
+        self.pbest_f = np.full(self.swarm_size, np.inf)
+        self.gbest: Optional[np.ndarray] = None
+        self.gbest_f = np.inf
+        self._next = 0
+        self._initialized = 0
+
+    def ask(self) -> Dict[str, Any]:
+        if self._initialized < self.swarm_size:
+            cfg = self._random_feasible()
+            if self.pos is None:
+                self.pos = np.zeros((self.swarm_size, self.space.dimension))
+            self.pos[self._initialized] = self._unit(cfg)
+            return cfg
+        i = self._next
+        d = self.space.dimension
+        r1, r2 = self.rng.random(d), self.rng.random(d)
+        self.vel[i] = (
+            self.inertia * self.vel[i]
+            + self.cognitive * r1 * (self.pbest[i] - self.pos[i])
+            + self.social * r2 * (self.gbest - self.pos[i])
+        )
+        np.clip(self.vel[i], -0.4, 0.4, out=self.vel[i])
+        proposal = self.pos[i] + self.vel[i]
+        # reflecting bounds
+        over, under = proposal > 1.0, proposal < 0.0
+        proposal[over] = 2.0 - proposal[over]
+        proposal[under] = -proposal[under]
+        np.clip(proposal, 0.0, 1.0, out=proposal)
+        self.vel[i][over | under] *= -0.5
+        cfg = self._feasible_or_random(proposal)
+        self.pos[i] = self._unit(cfg)
+        return cfg
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        super().tell(config, value, mine)
+        u = self._unit(config)
+        v = float(value)
+        if v < self.gbest_f:  # global best absorbs everyone's results
+            self.gbest, self.gbest_f = u.copy(), v
+        if not mine:
+            return
+        if self._initialized < self.swarm_size:
+            i = self._initialized
+            self.pbest[i], self.pbest_f[i] = u, v
+            self._initialized += 1
+            return
+        i = self._next
+        if v < self.pbest_f[i]:
+            self.pbest[i], self.pbest_f[i] = u, v
+        self._next = (i + 1) % self.swarm_size

@@ -1,0 +1,86 @@
+"""Technique interface for the OpenTuner-style ensemble tuner.
+
+OpenTuner organizes model-free search *techniques* behind an ask/tell
+interface and lets a multi-armed bandit allocate the evaluation budget across
+them (Sec. 5 of the paper).  A technique proposes the next configuration
+(``ask``) and observes every result produced by *any* technique (``tell``),
+so all arms share the global best.
+
+All techniques work on the normalized unit hypercube and use rejection to
+stay feasible, falling back to uniform feasible draws when their proposal
+mechanism leaves the feasible region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from ...core.sampling import sample_feasible
+from ...core.space import Space
+
+__all__ = ["Technique", "RandomTechnique"]
+
+
+class Technique:
+    """Base class: feasibility plumbing plus the ask/tell contract.
+
+    Parameters
+    ----------
+    space:
+        The tuning space.
+    task:
+        Task bindings for constraint evaluation.
+    rng:
+        Shared random generator (the ensemble seeds one per technique).
+    """
+
+    name = "technique"
+
+    def __init__(self, space: Space, task: Mapping[str, Any], rng: np.random.Generator):
+        self.space = space
+        self.task = dict(task)
+        self.rng = rng
+        self.best_config: Optional[Dict[str, Any]] = None
+        self.best_value: float = np.inf
+
+    # -- contract -----------------------------------------------------------
+    def ask(self) -> Dict[str, Any]:
+        """Propose the next native configuration (feasible)."""
+        raise NotImplementedError
+
+    def tell(self, config: Mapping[str, Any], value: float, mine: bool) -> None:
+        """Observe a result.  ``mine`` marks proposals this technique made."""
+        if value < self.best_value:
+            self.best_value = float(value)
+            self.best_config = dict(config)
+
+    # -- helpers ------------------------------------------------------------
+    def _random_feasible(self) -> Dict[str, Any]:
+        return sample_feasible(self.space, 1, self.rng, extra=self.task)[0]
+
+    def _feasible_or_random(self, unit: np.ndarray, tries: int = 8) -> Dict[str, Any]:
+        """Snap a unit-space proposal to feasibility (jitter, then fall back)."""
+        u = np.clip(np.asarray(unit, dtype=float), 0.0, 1.0)
+        cfg = self.space.denormalize(u)
+        if self.space.is_feasible(cfg, extra=self.task):
+            return cfg
+        for _ in range(tries):
+            v = np.clip(u + self.rng.normal(0.0, 0.1, u.shape), 0.0, 1.0)
+            cfg = self.space.denormalize(v)
+            if self.space.is_feasible(cfg, extra=self.task):
+                return cfg
+        return self._random_feasible()
+
+    def _unit(self, config: Mapping[str, Any]) -> np.ndarray:
+        return self.space.normalize(config)
+
+
+class RandomTechnique(Technique):
+    """Pure random sampling — OpenTuner's always-available fallback arm."""
+
+    name = "random"
+
+    def ask(self) -> Dict[str, Any]:
+        return self._random_feasible()

@@ -1,0 +1,6 @@
+"""ytopt-style tuner: from-scratch random forests + RF-based BO."""
+
+from .forest import RandomForestRegressor, RegressionTree
+from .tuner import YtoptTuner
+
+__all__ = ["RandomForestRegressor", "RegressionTree", "YtoptTuner"]

@@ -1,0 +1,216 @@
+"""Random-forest regression, from scratch.
+
+ytopt (and SuRf, Sec. 5 of the paper) model application performance with
+random forests: bagged CART regression trees with per-split feature
+subsampling.  scikit-learn is unavailable offline, so this module implements
+the standard algorithm directly:
+
+* :class:`RegressionTree` — binary CART minimizing within-node variance,
+  with depth / leaf-size stopping and random feature subsets per split;
+* :class:`RandomForestRegressor` — bootstrap-aggregated trees whose spread
+  of per-tree predictions doubles as an uncertainty estimate, which the
+  ytopt tuner's acquisition uses exactly like a GP posterior deviation.
+
+Inputs are normalized ``[0,1]`` vectors (categoricals arrive cell-encoded,
+which CART splits handle naturally since each category occupies an
+interval).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RegressionTree", "RandomForestRegressor"]
+
+
+@dataclasses.dataclass
+class _Node:
+    """One tree node; leaves carry a value, internal nodes a split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree (variance-reduction splits).
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap.
+    min_samples_leaf:
+        Minimum samples per leaf.
+    max_features:
+        Features considered per split; ``None`` = all, otherwise a count
+        (random forests typically use ``ceil(d/3)`` for regression).
+    seed:
+        Feature-subsampling seed.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = max(1, int(min_samples_leaf))
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self.root: Optional[_Node] = None
+
+    # -- training ----------------------------------------------------------
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, features: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
+        """Best (feature, threshold, score) or None when nothing splits."""
+        n = y.shape[0]
+        best = None
+        base = float(np.var(y)) * n
+        for j in features:
+            order = np.argsort(X[:, j], kind="stable")
+            xs, ys = X[order, j], y[order]
+            # candidate thresholds between distinct consecutive values
+            csum = np.cumsum(ys)
+            csum2 = np.cumsum(ys * ys)
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue
+                nl, nr = i, n - i
+                sl, sr = csum[i - 1], csum[-1] - csum[i - 1]
+                ql, qr = csum2[i - 1], csum2[-1] - csum2[i - 1]
+                sse = (ql - sl * sl / nl) + (qr - sr * sr / nr)
+                gain = base - sse
+                if best is None or gain > best[2]:
+                    thr = 0.5 * (xs[i - 1] + xs[min(i, n - 1)])
+                    best = (int(j), float(thr), float(gain))
+        if best is None or best[2] <= 1e-15:
+            return None
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.shape[0] < 2 * self.min_samples_leaf:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        d = X.shape[1]
+        k = d if self.max_features is None else min(d, max(1, int(self.max_features)))
+        features = self.rng.choice(d, size=k, replace=False)
+        split = self._best_split(X, y, features)
+        if split is None:
+            return node
+        j, thr, _ = split
+        mask = X[:, j] <= thr
+        if mask.all() or not mask.any():
+            return node
+        node.feature, node.threshold = j, thr
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Fit to ``(n, d)`` inputs and ``(n,)`` targets."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("bad training data")
+        self.root = self._build(X, y, 0)
+        return self
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``(m, d)`` inputs."""
+        if self.root is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.empty(X.shape[0])
+        for i, x in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if x[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def d(node):
+            return 0 if node is None or node.is_leaf else 1 + max(d(node.left), d(node.right))
+
+        return d(self.root)
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with ensemble-spread uncertainty.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size.
+    max_depth, min_samples_leaf:
+        Passed to every tree.
+    max_features:
+        Per-split feature count; ``None`` → ``ceil(d/3)`` at fit time.
+    seed:
+        Master seed for bootstraps and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self.trees: List[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit the ensemble on bootstrap resamples."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("bad training data")
+        n, d = X.shape
+        mf = self.max_features if self.max_features is not None else max(1, -(-d // 3))
+        self.trees = []
+        for _ in range(self.n_trees):
+            idx = self.rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mf,
+                seed=int(self.rng.integers(2**63)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        """Ensemble mean (and optionally the tree-spread std)."""
+        if not self.trees:
+            raise RuntimeError("predict() before fit()")
+        preds = np.vstack([t.predict(X) for t in self.trees])
+        mean = preds.mean(axis=0)
+        if return_std:
+            return mean, preds.std(axis=0)
+        return mean

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import Integer, Real, Categorical, Space
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mixed_space():
+    """A small mixed-type space with a constraint, used across tests."""
+    return Space(
+        [
+            Real("x", 0.0, 1.0),
+            Integer("k", 1, 8),
+            Categorical("alg", ["a", "b", "c"]),
+        ],
+        constraints=["k <= 6 or alg == 'a'"],
+    )
+
+
+@pytest.fixture
+def toy_multitask_data(rng):
+    """Smooth two-task data the LCM should fit well: y = sin(3x) + offset(t)."""
+    X = rng.random((16, 1))
+    tidx = np.array([0] * 8 + [1] * 8)
+    y = np.sin(3.0 * X[:, 0]) + 0.5 * tidx + 0.02 * rng.normal(size=16)
+    return X, y, tidx

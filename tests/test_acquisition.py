@@ -1,0 +1,57 @@
+"""Unit tests for Expected Improvement (repro.core.acquisition)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import EIAcquisition, expected_improvement
+
+
+class TestExpectedImprovement:
+    def test_closed_form_value(self):
+        mu, var, best = np.array([0.0]), np.array([1.0]), 1.0
+        z = (best - mu[0]) / 1.0
+        expected = (best - mu[0]) * stats.norm.cdf(z) + 1.0 * stats.norm.pdf(z)
+        assert expected_improvement(mu, var, best)[0] == pytest.approx(expected)
+
+    def test_zero_variance_deterministic(self):
+        ei = expected_improvement(np.array([0.5, 2.0]), np.array([0.0, 0.0]), 1.0)
+        assert ei[0] == pytest.approx(0.5)
+        assert ei[1] == 0.0
+
+    def test_nonnegative(self, rng):
+        mu = rng.normal(size=50)
+        var = rng.random(50)
+        assert np.all(expected_improvement(mu, var, 0.0) >= 0)
+
+    def test_monotone_in_mean(self):
+        """Lower predicted mean (better) gives higher EI at equal variance."""
+        ei = expected_improvement(np.array([0.0, 1.0]), np.array([0.5, 0.5]), 1.0)
+        assert ei[0] > ei[1]
+
+    def test_monotone_in_variance_when_worse_than_best(self):
+        """More uncertainty helps when the mean is unpromising."""
+        ei = expected_improvement(np.array([2.0, 2.0]), np.array([0.01, 1.0]), 1.0)
+        assert ei[1] > ei[0]
+
+
+class TestEIAcquisition:
+    def _predict(self, X):
+        X = np.atleast_2d(X)
+        return X[:, 0], 0.1 * np.ones(X.shape[0])
+
+    def test_call_shape(self):
+        acq = EIAcquisition(self._predict, y_best=0.5)
+        vals = acq(np.array([[0.1], [0.9]]))
+        assert vals.shape == (2,)
+        assert vals[0] > vals[1]  # lower predicted mean wins
+
+    def test_feasibility_masks_to_minus_inf(self):
+        acq = EIAcquisition(
+            self._predict,
+            y_best=0.5,
+            feasibility=lambda X: np.atleast_2d(X)[:, 0] < 0.5,
+        )
+        vals = acq(np.array([[0.1], [0.9]]))
+        assert np.isfinite(vals[0])
+        assert vals[1] == -np.inf

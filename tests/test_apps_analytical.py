@@ -1,0 +1,71 @@
+"""Tests for the analytical application (Eq. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.analytical import AnalyticalApp, analytical_function, true_minimum
+
+
+class TestFunction:
+    def test_vectorized_matches_scalar(self):
+        xs = np.linspace(0, 1, 7)
+        vec = analytical_function(2.0, xs)
+        scal = np.array([float(analytical_function(2.0, x)) for x in xs])
+        assert np.allclose(vec, scal)
+
+    def test_known_structure(self):
+        """y = 1 + damped oscillation; the envelope keeps y within [0, 2]-ish."""
+        xs = np.linspace(0, 1, 1001)
+        for t in [0.0, 2.0, 6.0, 9.5]:
+            ys = analytical_function(t, xs)
+            assert np.all(ys > -1.0) and np.all(ys < 3.0)
+
+    def test_larger_t_oscillates_faster(self):
+        """Sign changes of dy/dx increase with t (harder tasks)."""
+        xs = np.linspace(0, 1, 4001)
+
+        def oscillations(t):
+            ys = analytical_function(t, xs)
+            return int(np.sum(np.diff(np.sign(np.diff(ys))) != 0))
+
+        assert oscillations(6.0) > oscillations(1.0)
+
+    def test_true_minimum_is_a_minimum(self):
+        xstar, ystar = true_minimum(1.5, resolution=50001)
+        xs = np.linspace(0, 1, 10001)
+        assert ystar <= analytical_function(1.5, xs).min() + 1e-9
+        assert 0.0 <= xstar <= 1.0
+
+
+class TestApp:
+    def test_problem_shapes(self):
+        app = AnalyticalApp()
+        prob = app.problem()
+        assert prob.task_space.dimension == 1
+        assert prob.tuning_space.dimension == 1
+        assert prob.n_objectives == 1
+
+    def test_objective_matches_function(self):
+        app = AnalyticalApp()
+        y = app.objective({"t": 3.0}, {"x": 0.25})
+        assert y == pytest.approx(float(analytical_function(3.0, 0.25)))
+
+    def test_noisy_model_close_to_objective(self):
+        """The Fig. 4 model ỹ = (1 + 0.1 r)y stays within ~50% of y."""
+        app = AnalyticalApp(model_noise=0.1)
+        model = app.models()[0]
+        for x in [0.1, 0.4, 0.9]:
+            y = app.objective({"t": 2.0}, {"x": x})
+            ym = model.predict({"t": 2.0}, {"x": x})
+            assert abs(ym - y) <= 0.5 * abs(y) + 1e-12
+
+    def test_model_deterministic(self):
+        app = AnalyticalApp()
+        m = app.models()[0]
+        assert m.predict({"t": 1.0}, {"x": 0.5}) == m.predict({"t": 1.0}, {"x": 0.5})
+
+    def test_sample_tasks_within_range(self):
+        app = AnalyticalApp(t_range=(0.0, 5.0))
+        tasks = app.sample_tasks(10, seed=1)
+        assert len(tasks) == 10
+        assert all(0.0 <= t["t"] <= 5.0 for t in tasks)

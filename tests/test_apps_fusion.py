@@ -1,0 +1,73 @@
+"""Tests for the fusion-code surrogates (M3D_C1, NIMROD)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fusion import M3DC1, NIMROD
+from repro.core.sampling import sample_feasible
+from repro.runtime import cori_haswell
+
+KW = dict(machine=cori_haswell(1), plane_size=200, seed=0)
+
+
+class TestM3DC1:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return M3DC1(**KW)
+
+    def test_beta_five(self, app):
+        assert app.tuning_space().dimension == 5  # Table 2
+
+    def test_task_is_step_count(self, app):
+        assert app.task_space().names == ["t"]
+
+    def test_runtime_grows_with_steps(self, app):
+        cfg = app.default_config({"t": 1})
+        y1 = app.objective({"t": 1}, cfg)
+        y10 = app.objective({"t": 10}, cfg)
+        assert y10 > 3 * y1
+
+    def test_rowperm_matters(self, app):
+        """NOROWPERM weakens the preconditioner ⇒ more iterations ⇒ slower."""
+        cfg = app.default_config({"t": 5})
+        good = app.objective({"t": 5}, dict(cfg, ROWPERM="LargeDiag_MC64"))
+        bad = app.objective({"t": 5}, dict(cfg, ROWPERM="NOROWPERM"))
+        assert bad > good
+
+    def test_colperm_changes_runtime(self, app):
+        cfg = app.default_config({"t": 5})
+        y_nat = app.objective({"t": 5}, dict(cfg, COLPERM="NATURAL"))
+        y_mmd = app.objective({"t": 5}, dict(cfg, COLPERM="MMD_AT_PLUS_A"))
+        assert y_nat != y_mmd
+
+    def test_landscape_nontrivial(self, app):
+        rng = np.random.default_rng(0)
+        ys = [app.objective({"t": 3}, c) for c in sample_feasible(app.tuning_space(), 12, rng)]
+        assert max(ys) / min(ys) > 1.2
+
+    def test_multitask_structure(self, app):
+        """Short tasks are much cheaper — the premise of the Sec. 6.5 setup."""
+        cfg = app.default_config({"t": 1})
+        assert app.objective({"t": 1}, cfg) < 0.5 * app.objective({"t": 10}, cfg)
+
+
+class TestNIMROD:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return NIMROD(**KW)
+
+    def test_beta_seven(self, app):
+        assert app.tuning_space().dimension == 7  # Table 2
+
+    def test_assembly_blocking_valley(self, app):
+        """nxbl/nybl have an interior optimum (cache vs overhead)."""
+        times = {b: app._assembly_time(b, b) for b in (1, 4, 32)}
+        assert times[4] < times[1]
+        assert times[4] < times[32]
+
+    def test_runtime_grows_with_steps(self, app):
+        cfg = app.default_config({"t": 1})
+        assert app.objective({"t": 15}, cfg) > 5 * app.objective({"t": 1}, cfg)
+
+    def test_default_feasible(self, app):
+        assert app.tuning_space().is_feasible(app.default_config({"t": 3}))

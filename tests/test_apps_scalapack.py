@@ -1,0 +1,143 @@
+"""Tests for the ScaLAPACK simulators (PDGEQRF, PDSYEVX)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.scalapack import PDGEQRF, PDSYEVX, costs
+from repro.runtime import cori_haswell
+
+
+class TestCosts:
+    def test_grid_cols(self):
+        assert costs.grid_cols(16, 4) == 4
+        assert costs.grid_cols(17, 4) == 4
+        assert costs.grid_cols(4, 8) == 1
+
+    def test_qr_flops_decrease_with_p(self):
+        f1 = costs.qr_flops(4000, 4000, 4, 2, 64)
+        f2 = costs.qr_flops(4000, 4000, 16, 4, 64)
+        assert f2 < f1
+
+    def test_qr_messages_increase_with_grid(self):
+        m1 = costs.qr_messages(4000, 4, 2, 64)
+        m2 = costs.qr_messages(4000, 64, 8, 64)
+        assert m2 > m1
+
+    def test_qr_messages_decrease_with_block(self):
+        m_small = costs.qr_messages(4000, 16, 4, 8)
+        m_big = costs.qr_messages(4000, 16, 4, 128)
+        assert m_big < m_small
+
+    def test_volume_positive(self):
+        assert costs.qr_volume(4000, 2000, 16, 4, 64) > 0
+
+    def test_syevx_flops_cubic(self):
+        assert costs.syevx_flops(2000, 1) / costs.syevx_flops(1000, 1) == pytest.approx(8.0)
+
+
+class TestPDGEQRF:
+    @pytest.fixture
+    def app(self):
+        return PDGEQRF(machine=cori_haswell(4), mn_max=20000, seed=0)
+
+    def test_spaces(self, app):
+        assert app.tuning_space().dimension == 3  # β = 3 per Table 2
+        assert app.task_space().dimension == 2
+
+    def test_constraint(self, app):
+        sp = app.tuning_space()
+        assert not sp.is_feasible({"b": 32, "p": 4, "p_r": 8})
+        assert sp.is_feasible({"b": 32, "p": 8, "p_r": 4})
+
+    def test_runtime_positive_and_finite(self, app):
+        y = app.objective({"m": 5000, "n": 4000}, {"b": 64, "p": 64, "p_r": 8})
+        assert 0 < y < 1e4
+
+    def test_bigger_matrix_slower(self, app):
+        cfg = {"b": 64, "p": 64, "p_r": 8}
+        y1 = app.objective({"m": 2000, "n": 2000}, cfg)
+        y2 = app.objective({"m": 8000, "n": 8000}, cfg)
+        assert y2 > 4 * y1
+
+    def test_more_processes_help_large_matrix(self, app):
+        """With threads capped per node, p = 2 underuses the machine."""
+        t = {"m": 16000, "n": 16000}
+        slow = app.objective(t, {"b": 64, "p": 2, "p_r": 1})
+        fast = app.objective(t, {"b": 64, "p": 128, "p_r": 8})
+        assert fast < slow
+
+    def test_degenerate_grid_penalized(self, app):
+        """A 1 × p or p × 1 grid loses to a square-ish one."""
+        t = {"m": 8000, "n": 8000}
+        good = app.objective(t, {"b": 64, "p": 64, "p_r": 8})
+        bad = app.objective(t, {"b": 64, "p": 64, "p_r": 64})
+        assert good < bad
+
+    def test_tiny_blocks_penalized(self, app):
+        t = {"m": 8000, "n": 8000}
+        good = app.objective(t, {"b": 64, "p": 64, "p_r": 8})
+        bad = app.objective(t, {"b": 4, "p": 64, "p_r": 8})
+        assert good < bad
+
+    def test_best_of_repeats_deterministic(self, app):
+        t = {"m": 4000, "n": 4000}
+        cfg = {"b": 64, "p": 32, "p_r": 4}
+        assert app.objective(t, cfg) == app.objective(t, cfg)
+
+    def test_m_less_than_n_swapped(self):
+        """QR of a wide matrix is treated as QR of its transpose."""
+        app = PDGEQRF(machine=cori_haswell(4), mn_max=20000, seed=0, noise=0.0)
+        y1 = app.objective({"m": 2000, "n": 6000}, {"b": 64, "p": 32, "p_r": 4})
+        y2 = app.objective({"m": 6000, "n": 2000}, {"b": 64, "p": 32, "p_r": 4})
+        assert y1 == pytest.approx(y2)
+
+    def test_flop_count_sorting_key(self, app):
+        f_small = app.flop_count({"m": 2000, "n": 2000})
+        f_big = app.flop_count({"m": 9000, "n": 9000})
+        assert f_big > f_small
+
+    def test_performance_model_correlates_after_fit(self, app):
+        """After the model-update phase fits t_flop/t_msg/t_vol, the Eq. (7)
+        model must rank configurations positively like the simulator (it is
+        a *coarse* model, so the bar is informative, not perfect)."""
+        model = app.models()[0]
+        t = {"m": 10000, "n": 8000}
+        rng = np.random.default_rng(3)
+        from repro.core.sampling import sample_feasible
+
+        cfgs = sample_feasible(app.tuning_space(), 24, rng, extra=t)
+        sim = np.array([app.objective(t, c) for c in cfgs])
+        model.update([t] * len(cfgs), cfgs, sim)
+        mod = np.array([model.predict(t, c) for c in cfgs])
+        rank_corr = np.corrcoef(np.argsort(np.argsort(sim)), np.argsort(np.argsort(mod)))[0, 1]
+        assert rank_corr > 0.2
+
+
+class TestPDSYEVX:
+    @pytest.fixture
+    def app(self):
+        return PDSYEVX(machine=cori_haswell(1), m_max=8000, seed=0)
+
+    def test_spaces(self, app):
+        assert app.tuning_space().dimension == 3
+        assert app.task_space().dimension == 1  # m = n enforced
+
+    def test_runtime_cubic_in_m(self, app):
+        """Fig. 5 right: best runtime scales as O(m³)."""
+        cfg = {"b": 32, "p": 32, "p_r": 4}
+        y1 = app.objective({"m": 2000}, cfg)
+        y2 = app.objective({"m": 4000}, cfg)
+        assert 5.0 < y2 / y1 < 11.0
+
+    def test_default_config_feasible(self, app):
+        cfg = app.default_config({"m": 4000})
+        assert app.tuning_space().is_feasible(cfg)
+
+    def test_landscape_nontrivial(self, app):
+        """Different configurations must differ enough to be worth tuning."""
+        from repro.core.sampling import sample_feasible
+
+        rng = np.random.default_rng(0)
+        t = {"m": 7000}
+        ys = [app.objective(t, c) for c in sample_feasible(app.tuning_space(), 15, rng)]
+        assert max(ys) / min(ys) > 1.5

@@ -1,0 +1,222 @@
+"""Tests for the SuperLU_DIST substrate (matrices, symbolic, simulator)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps.superlu import (
+    COLPERM_CHOICES,
+    PARSEC_STATS,
+    SuperLUDIST,
+    knn_matrix,
+    ordering,
+    parsec_matrix,
+    supernodes,
+    symbolic_cholesky,
+)
+from repro.runtime import cori_haswell
+
+SCALE = 0.02  # tiny matrices: fast tests, same code paths
+
+
+class TestMatrices:
+    def test_knn_symmetric_pattern(self):
+        A = knn_matrix(100, 5, seed=0)
+        assert (abs(A - A.T)).nnz == 0  # values symmetric too by construction
+
+    def test_knn_diagonally_dominant(self):
+        A = knn_matrix(80, 6, seed=1)
+        d = A.diagonal()
+        off = np.asarray(abs(A).sum(axis=1)).ravel() - np.abs(d)
+        assert np.all(d > off - 1e-12)
+        assert np.all(d > 0)
+
+    def test_knn_nonsingular(self):
+        A = knn_matrix(50, 4, seed=2)
+        x = np.ones(50)
+        from scipy.sparse.linalg import spsolve
+
+        y = spsolve(A.tocsc(), x)
+        assert np.allclose(A @ y, x, atol=1e-8)
+
+    def test_parsec_names(self):
+        assert set(PARSEC_STATS) == {
+            "Si2", "SiH4", "SiNa", "Na5", "benzene", "Si10H16", "Si5H12", "SiO",
+        }
+        with pytest.raises(KeyError):
+            parsec_matrix("NotAMatrix")
+
+    def test_parsec_relative_sizes_preserved(self):
+        a = parsec_matrix("Si2", scale=SCALE)
+        b = parsec_matrix("SiO", scale=SCALE)
+        assert b.shape[0] > a.shape[0]
+
+    def test_parsec_cached(self):
+        assert parsec_matrix("Si2", scale=SCALE) is parsec_matrix("Si2", scale=SCALE)
+
+    def test_knn_validation(self):
+        with pytest.raises(ValueError):
+            knn_matrix(1, 3)
+
+
+class TestOrdering:
+    @pytest.fixture(scope="class")
+    def A(self):
+        return knn_matrix(150, 6, seed=3)
+
+    @pytest.mark.parametrize("colperm", COLPERM_CHOICES)
+    def test_valid_permutation(self, A, colperm):
+        p = ordering(A, colperm)
+        assert sorted(p.tolist()) == list(range(A.shape[0]))
+
+    def test_unknown_colperm(self, A):
+        with pytest.raises(ValueError):
+            ordering(A, "COLAMD-NOPE")
+
+    def test_mmd_reduces_fill_vs_natural(self, A):
+        fill_nat = symbolic_cholesky(A, ordering(A, "NATURAL")).fill_nnz
+        fill_mmd = symbolic_cholesky(A, ordering(A, "MMD_AT_PLUS_A")).fill_nnz
+        assert fill_mmd < fill_nat
+
+    def test_nd_reduces_fill_vs_natural(self, A):
+        fill_nat = symbolic_cholesky(A, ordering(A, "NATURAL")).fill_nnz
+        fill_nd = symbolic_cholesky(A, ordering(A, "METIS_AT_PLUS_A")).fill_nnz
+        assert fill_nd < fill_nat
+
+
+class TestSymbolic:
+    def test_exact_fill_small_case(self):
+        """Arrow matrix: natural order fills the dense arrow row only."""
+        n = 6
+        A = sparse.lil_matrix((n, n))
+        A.setdiag(4.0)
+        for i in range(1, n):
+            A[0, i] = A[i, 0] = -1.0
+        sym = symbolic_cholesky(sparse.csc_matrix(A), np.arange(n))
+        # eliminating column 0 connects all others: L is completely dense
+        assert sym.fill_nnz == n * (n + 1) // 2
+        # reversed (arrow last) has no fill at all: |L| = nnz pattern
+        perm = np.array([1, 2, 3, 4, 5, 0])
+        sym2 = symbolic_cholesky(sparse.csc_matrix(A), perm)
+        assert sym2.fill_nnz == 2 * n - 1
+
+    def test_etree_parents_increase(self):
+        A = knn_matrix(60, 4, seed=4)
+        sym = symbolic_cholesky(A, np.arange(60))
+        ok = (sym.parent == -1) | (sym.parent > np.arange(60))
+        assert np.all(ok)
+
+    def test_col_counts_bounds(self):
+        A = knn_matrix(60, 4, seed=5)
+        sym = symbolic_cholesky(A, np.arange(60))
+        assert np.all(sym.col_counts >= 1)
+        assert np.all(sym.col_counts <= 60 - np.arange(60))
+        assert sym.fill_nnz == sym.col_counts.sum()
+
+    def test_subtree_sizes(self):
+        A = knn_matrix(60, 4, seed=6)
+        sym = symbolic_cholesky(A, np.arange(60))
+        roots = sym.parent == -1
+        assert sym.subtree_size[roots].sum() == 60
+
+    def test_invalid_perm(self):
+        A = knn_matrix(10, 3, seed=0)
+        with pytest.raises(ValueError):
+            symbolic_cholesky(A, np.zeros(10, dtype=int))
+
+
+class TestSupernodes:
+    @pytest.fixture(scope="class")
+    def sym(self):
+        A = knn_matrix(200, 6, seed=7)
+        return symbolic_cholesky(A, ordering(A, "MMD_AT_PLUS_A"))
+
+    def test_partition_covers_all_columns(self, sym):
+        part = supernodes(sym, nsup=32, nrel=8)
+        assert part.widths.sum() == sym.n
+        assert part.starts[0] == 0
+        assert np.all(np.diff(part.starts) == part.widths[:-1])
+
+    def test_nsup_caps_width(self, sym):
+        part = supernodes(sym, nsup=16, nrel=64)
+        assert part.widths.max() <= 16
+
+    def test_relaxation_merges_more(self, sym):
+        few = supernodes(sym, nsup=64, nrel=1).n_supernodes
+        many = supernodes(sym, nsup=64, nrel=32).n_supernodes
+        assert many <= few
+
+    def test_relaxed_fill_nonnegative(self, sym):
+        assert supernodes(sym, nsup=64, nrel=32).relaxed_fill >= 0
+
+    def test_nsup_one_every_column_alone(self, sym):
+        part = supernodes(sym, nsup=1, nrel=0)
+        assert part.n_supernodes == sym.n
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return SuperLUDIST(
+            machine=cori_haswell(8),
+            matrices=["Si2", "SiNa"],
+            objectives=("time", "memory"),
+            scale=SCALE,
+            seed=0,
+        )
+
+    def test_spaces(self, app):
+        assert app.tuning_space().dimension == 6  # β = 6 per Table 2
+        assert app.task_space().dimension == 1
+
+    def test_objectives_shape(self, app):
+        y = app.objective({"matrix": "Si2"}, app.default_config({"matrix": "Si2"}))
+        assert y.shape == (2,)
+        assert y[0] > 0 and y[1] > 0
+
+    def test_time_only_mode(self):
+        app = SuperLUDIST(matrices=["Si2"], objectives=("time",), scale=SCALE)
+        y = app.objective({"matrix": "Si2"}, app.default_config({"matrix": "Si2"}))
+        assert np.isscalar(y)
+
+    def test_invalid_objectives(self):
+        with pytest.raises(ValueError):
+            SuperLUDIST(objectives=("runtime",))
+        with pytest.raises(ValueError):
+            SuperLUDIST(matrices=["NotReal"])
+
+    def test_colperm_changes_both_objectives(self, app):
+        base = app.default_config({"matrix": "SiNa"})
+        t = {"matrix": "SiNa"}
+        y_nat = app.objective(t, {**base, "COLPERM": "NATURAL"})
+        y_mmd = app.objective(t, {**base, "COLPERM": "MMD_AT_PLUS_A"})
+        assert y_mmd[1] < y_nat[1]  # less fill => less memory
+
+    def test_lookahead_tradeoff(self, app):
+        """More look-ahead: less stall time, more buffer memory."""
+        base = app.default_config({"matrix": "SiNa"})
+        t = {"matrix": "SiNa"}
+        lo = app._factorization(t, {**base, "LOOK": 1})
+        hi = app._factorization(t, {**base, "LOOK": 20})
+        assert hi[0] < lo[0]
+        assert hi[1] > lo[1]
+
+    def test_nsup_memory_tradeoff(self, app):
+        """Tab. 5 structure: small NSUP saves memory vs big NSUP."""
+        base = app.default_config({"matrix": "SiNa"})
+        t = {"matrix": "SiNa"}
+        small = app._factorization(t, {**base, "NSUP": 16})
+        big = app._factorization(t, {**base, "NSUP": 512})
+        assert small[1] < big[1]
+
+    def test_symbolic_cached(self, app):
+        t = {"matrix": "Si2"}
+        cfg = app.default_config(t)
+        app.objective(t, cfg)
+        n_before = len(app._symbolic_cache)
+        app.objective(t, {**cfg, "NSUP": 64})  # same COLPERM: cache hit
+        assert len(app._symbolic_cache) == n_before
+
+    def test_evaluate_default(self, app):
+        time_s, mem_b = app.evaluate_default("Si2")
+        assert time_s > 0 and mem_b > 0

@@ -1,0 +1,102 @@
+"""Tests for the 2-D block-cyclic distribution (repro.apps.scalapack.blockcyclic)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.scalapack.blockcyclic import (
+    factorization_imbalance,
+    global_index,
+    local_index,
+    local_loads,
+    numroc,
+    owner,
+)
+
+
+class TestNumroc:
+    def test_totals_conserved(self):
+        """Sum of local extents equals the global dimension."""
+        for n in (1, 7, 64, 1000):
+            for nb in (1, 3, 32):
+                for p in (1, 2, 5):
+                    assert sum(numroc(n, nb, i, p) for i in range(p)) == n
+
+    def test_single_process_owns_all(self):
+        assert numroc(100, 8, 0, 1) == 100
+
+    def test_even_distribution(self):
+        # 8 blocks of 4 over 2 procs: 4 blocks each
+        assert numroc(32, 4, 0, 2) == 16
+        assert numroc(32, 4, 1, 2) == 16
+
+    def test_remainder_block(self):
+        # 10 elements, blocks of 4, 2 procs: blocks [4,4,2] -> p0 gets 4+2, p1 gets 4
+        assert numroc(10, 4, 0, 2) == 6
+        assert numroc(10, 4, 1, 2) == 4
+
+    def test_isrcproc_shift(self):
+        a = [numroc(10, 4, i, 2, isrcproc=0) for i in range(2)]
+        b = [numroc(10, 4, i, 2, isrcproc=1) for i in range(2)]
+        assert sorted(a) == sorted(b) and a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            numroc(10, 0, 0, 2)
+        with pytest.raises(ValueError):
+            numroc(10, 4, 5, 2)
+
+
+class TestIndexMaps:
+    @pytest.mark.parametrize("nb,p", [(1, 3), (4, 2), (7, 5)])
+    def test_roundtrip_all_indices(self, nb, p):
+        n = 53
+        for g in range(n):
+            pr = owner(g, nb, p)
+            loc = local_index(g, nb, p)
+            assert global_index(loc, nb, pr, p) == g
+
+    def test_local_indices_contiguous_per_owner(self):
+        nb, p, n = 4, 3, 40
+        per_owner = {}
+        for g in range(n):
+            per_owner.setdefault(owner(g, nb, p), []).append(local_index(g, nb, p))
+        for i, locs in per_owner.items():
+            assert sorted(locs) == list(range(numroc(n, nb, i, p)))
+
+    def test_owner_cycles(self):
+        # blocks of 2 over 3 procs: indices 0,1->p0; 2,3->p1; 4,5->p2; 6,7->p0
+        assert [owner(g, 2, 3) for g in range(8)] == [0, 0, 1, 1, 2, 2, 0, 0]
+
+
+class TestLoads:
+    def test_total_elements(self):
+        L = local_loads(100, 80, 8, 8, 3, 2)
+        assert L.shape == (3, 2)
+        assert L.sum() == 100 * 80
+
+    def test_uniform_when_commensurate(self):
+        L = local_loads(64, 64, 8, 8, 2, 2)
+        assert np.all(L == L[0, 0])
+
+
+class TestImbalance:
+    def test_at_least_one(self):
+        for args in [(4000, 4000, 64, 4, 4), (1000, 500, 32, 8, 2), (300, 300, 128, 2, 2)]:
+            assert factorization_imbalance(*args) >= 1.0 - 1e-12
+
+    def test_perfect_when_single_process(self):
+        assert factorization_imbalance(2048, 2048, 64, 1, 1) == pytest.approx(1.0)
+
+    def test_oversized_blocks_hurt(self):
+        good = factorization_imbalance(4096, 4096, 32, 4, 4)
+        bad = factorization_imbalance(4096, 4096, 1024, 4, 4)
+        assert bad > good
+
+    def test_elongated_grid_hurts_square_matrix(self):
+        square = factorization_imbalance(4096, 4096, 64, 4, 4)
+        skinny = factorization_imbalance(4096, 4096, 64, 16, 1)
+        assert skinny > square
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            factorization_imbalance(0, 10, 4, 2, 2)

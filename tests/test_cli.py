@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import APPS, build_app, main
+
+
+class TestBuildApp:
+    def test_known_apps(self):
+        for name in APPS:
+            app = build_app(name, nodes=1, seed=0)
+            assert app.tuning_space().dimension >= 1
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_app("caffe", nodes=1, seed=0)
+
+
+class TestListApps(object):
+    def test_lists_all(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for name in APPS:
+            assert name in out
+
+
+class TestTune:
+    def test_analytical_explicit_tasks(self, capsys):
+        rc = main(
+            ["tune", "--app", "analytical", "--tasks", "1.0;2.0", "--samples", "6",
+             "--n-start", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("Popt:") == 2
+        assert out.count("Oopt:") == 2
+        assert "stats:" in out
+
+    def test_random_tasks_and_archive(self, capsys, tmp_path):
+        archive = tmp_path / "out.json"
+        rc = main(
+            ["tune", "--app", "pdsyevx", "--random-tasks", "1", "--samples", "6",
+             "--n-start", "1", "--output", str(archive)]
+        )
+        assert rc == 0
+        records = json.loads(archive.read_text())
+        assert len(records) == 6
+        assert {"task", "x", "y"} <= set(records[0])
+
+    def test_mixed_task_parsing(self, capsys):
+        rc = main(
+            ["tune", "--app", "superlu_dist", "--tasks", "Si2", "--samples", "6",
+             "--n-start", "1"]
+        )
+        assert rc == 0
+        assert '"matrix": "Si2"' in capsys.readouterr().out
+
+
+class TestSensitivity:
+    def test_prints_sorted_indices(self, capsys):
+        rc = main(
+            ["sensitivity", "--app", "pdgeqrf", "--tasks", "4000,4000",
+             "--samples", "8", "--n-start", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S1" in out and "ST" in out
+        for p in ("b", "p", "p_r"):
+            assert p in out
+
+
+class TestCompare:
+    def test_compare_runs_all_tuners(self, capsys):
+        rc = main(
+            ["compare", "--app", "analytical", "--tasks", "1.0", "--samples", "6",
+             "--n-start", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("gptune", "opentuner", "hpbandster", "ytopt", "random"):
+            assert name in out
+        assert "WinTask" in out

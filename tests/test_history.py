@@ -1,0 +1,67 @@
+"""Unit tests for the history database (repro.core.history)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import HistoryDB
+
+
+@pytest.fixture
+def db(tmp_path):
+    return HistoryDB(str(tmp_path / "history.json"))
+
+
+REC = {"task": {"m": 10}, "x": {"b": 4}, "y": [1.5]}
+
+
+class TestHistoryDB:
+    def test_empty(self, db):
+        assert db.problems() == []
+        assert db.records("p") == []
+        assert db.count("p") == 0
+
+    def test_append_and_query(self, db):
+        db.append("qr", [REC])
+        assert db.problems() == ["qr"]
+        assert db.count("qr") == 1
+        assert db.records("qr")[0]["y"] == [1.5]
+
+    def test_persistence_across_instances(self, db):
+        db.append("qr", [REC, REC])
+        reopened = HistoryDB(db.path)
+        assert reopened.count("qr") == 2
+
+    def test_records_returns_copies(self, db):
+        db.append("qr", [REC])
+        recs = db.records("qr")
+        recs[0]["y"] = [999]
+        assert db.records("qr")[0]["y"] == [1.5]
+
+    def test_malformed_record_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.append("qr", [{"task": {}, "x": {}}])  # no y
+
+    def test_clear(self, db):
+        db.append("qr", [REC])
+        db.clear("qr")
+        assert db.count("qr") == 0
+        db.clear("never-existed")  # no error
+
+    def test_atomic_write_no_tmp_left(self, db, tmp_path):
+        db.append("qr", [REC])
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_malformed_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            HistoryDB(str(p))
+
+    def test_multiple_problems(self, db):
+        db.append("a", [REC])
+        db.append("b", [REC, REC])
+        assert db.problems() == ["a", "b"]
+        assert db.count("b") == 2

@@ -1,0 +1,85 @@
+"""Unit tests for kernels (repro.core.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import gaussian_kernel, gaussian_kernel_with_grad, pairwise_sq_diffs
+
+
+class TestPairwiseSqDiffs:
+    def test_shape_and_values(self):
+        X1 = np.array([[0.0, 0.0], [1.0, 2.0]])
+        X2 = np.array([[1.0, 1.0]])
+        D = pairwise_sq_diffs(X1, X2)
+        assert D.shape == (2, 1, 2)
+        assert D[0, 0].tolist() == [1.0, 1.0]
+        assert D[1, 0].tolist() == [0.0, 1.0]
+
+    def test_self_diagonal_zero(self, rng):
+        X = rng.random((5, 3))
+        D = pairwise_sq_diffs(X)
+        assert np.allclose(D[np.arange(5), np.arange(5)], 0.0)
+
+
+class TestGaussianKernel:
+    def test_unit_diagonal(self, rng):
+        X = rng.random((6, 2))
+        K = gaussian_kernel(pairwise_sq_diffs(X), np.array([0.5, 0.5]))
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.all((K > 0) & (K <= 1))
+
+    def test_symmetry(self, rng):
+        X = rng.random((6, 2))
+        K = gaussian_kernel(pairwise_sq_diffs(X), np.array([0.3, 0.7]))
+        assert np.allclose(K, K.T)
+
+    def test_positive_definite(self, rng):
+        X = rng.random((10, 3))
+        K = gaussian_kernel(pairwise_sq_diffs(X), np.full(3, 0.4))
+        w = np.linalg.eigvalsh(K + 1e-10 * np.eye(10))
+        assert w.min() > 0
+
+    def test_lengthscale_effect(self):
+        """Shorter lengthscales decay correlations faster."""
+        X = np.array([[0.0], [0.5]])
+        D = pairwise_sq_diffs(X)
+        near = gaussian_kernel(D, np.array([1.0]))[0, 1]
+        far = gaussian_kernel(D, np.array([0.1]))[0, 1]
+        assert far < near
+
+    def test_exact_value(self):
+        X = np.array([[0.0], [1.0]])
+        K = gaussian_kernel(pairwise_sq_diffs(X), np.array([1.0]))
+        assert K[0, 1] == pytest.approx(np.exp(-0.5))
+
+    def test_variance_scaling(self):
+        X = np.array([[0.0], [1.0]])
+        K = gaussian_kernel(pairwise_sq_diffs(X), np.array([1.0]), variance=4.0)
+        assert K[0, 0] == pytest.approx(4.0)
+
+    def test_nonpositive_lengthscale_raises(self):
+        X = np.array([[0.0], [1.0]])
+        with pytest.raises(ValueError):
+            gaussian_kernel(pairwise_sq_diffs(X), np.array([0.0]))
+
+
+class TestKernelGradient:
+    def test_gradient_matches_finite_differences(self, rng):
+        X = rng.random((5, 3))
+        sqd = pairwise_sq_diffs(X)
+        ls = np.array([0.3, 0.7, 1.2])
+        K, dK = gaussian_kernel_with_grad(sqd, ls)
+        assert dK.shape == (3, 5, 5)
+        eps = 1e-6
+        for j in range(3):
+            lp, lm = ls.copy(), ls.copy()
+            lp[j] *= np.exp(eps)
+            lm[j] *= np.exp(-eps)
+            num = (gaussian_kernel(sqd, lp) - gaussian_kernel(sqd, lm)) / (2 * eps)
+            assert np.allclose(dK[j], num, atol=1e-6)
+
+    def test_gradient_zero_on_diagonal(self, rng):
+        X = rng.random((4, 2))
+        _, dK = gaussian_kernel_with_grad(pairwise_sq_diffs(X), np.array([0.5, 0.5]))
+        for j in range(2):
+            assert np.allclose(np.diag(dK[j]), 0.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the Linear Coregionalization Model (repro.core.lcm)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LCM, GaussianProcess, LCMParams
+from repro.core.kernels import pairwise_sq_diffs
+
+
+class TestParams:
+    def test_size(self):
+        p = LCMParams(n_tasks=3, n_dims=2, n_latent=2)
+        # Q*β + δ*Q (a) + δ*Q (b) + δ (d)
+        assert p.size == 2 * 2 + 3 * 2 + 3 * 2 + 3
+
+    def test_pack_unpack_roundtrip(self, rng):
+        p = LCMParams(2, 3, 2)
+        ls = np.exp(rng.normal(size=(2, 3)))
+        a = rng.normal(size=(2, 2))
+        bw = np.exp(rng.normal(size=(2, 2)))
+        dn = np.exp(rng.normal(size=2))
+        theta = p.pack(ls, a, bw, dn)
+        assert theta.shape == (p.size,)
+        ls2, a2, bw2, dn2 = p.unpack(theta)
+        assert np.allclose(ls, ls2) and np.allclose(a, a2)
+        assert np.allclose(bw, bw2) and np.allclose(dn, dn2)
+
+
+class TestValidation:
+    def test_q_bounds(self):
+        with pytest.raises(ValueError):
+            LCM(n_tasks=2, n_dims=1, n_latent=3)  # Q > δ
+        with pytest.raises(ValueError):
+            LCM(n_tasks=2, n_dims=1, n_latent=0)
+
+    def test_default_q(self):
+        assert LCM(n_tasks=5, n_dims=1).params.Q == 3
+        assert LCM(n_tasks=2, n_dims=1).params.Q == 2
+
+    def test_fit_validation(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, seed=0)
+        with pytest.raises(ValueError):
+            m.fit(X, y[:-1], tidx)
+        with pytest.raises(ValueError):
+            m.fit(X, y, np.full_like(tidx, 5))  # task id out of range
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LCM(1, 1).predict(0, np.zeros((1, 1)))
+
+    def test_predict_bad_task(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, seed=0, n_start=1).fit(X, y, tidx)
+        with pytest.raises(ValueError):
+            m.predict(7, X[:1])
+
+
+class TestGradient:
+    def test_analytic_gradient_matches_fd(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=1, n_start=1)
+        sqd = pairwise_sq_diffs(X)
+        theta = m._initial_theta(y, restart=1)
+        _, g = m._nll_and_grad(theta, sqd, y, tidx)
+        eps = 1e-6
+        num = np.zeros_like(theta)
+        for k in range(theta.shape[0]):
+            tp, tm = theta.copy(), theta.copy()
+            tp[k] += eps
+            tm[k] -= eps
+            fp, _ = m._nll_and_grad(tp, sqd, y, tidx)
+            fm, _ = m._nll_and_grad(tm, sqd, y, tidx)
+            num[k] = (fp - fm) / (2 * eps)
+        assert np.max(np.abs(g - num) / (1.0 + np.abs(num))) < 1e-5
+
+
+class TestFitPredict:
+    def test_fits_related_tasks(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=2).fit(X, y, tidx)
+        mu0, var0 = m.predict(0, X[tidx == 0])
+        assert np.max(np.abs(mu0 - y[tidx == 0])) < 0.15
+        assert np.all(var0 >= 0)
+
+    def test_single_task_matches_gp_quality(self, rng):
+        """With δ=1 the LCM reduces to a GP and should fit as well."""
+        X = np.linspace(0, 1, 14)[:, None]
+        y = np.sin(5 * X[:, 0])
+        lcm = LCM(1, 1, seed=0, n_start=2).fit(X, y, np.zeros(14, dtype=int))
+        gp = GaussianProcess(seed=0, n_start=2).fit(X, y)
+        mu_l, _ = lcm.predict(0, X)
+        mu_g, _ = gp.predict(X)
+        assert np.max(np.abs(mu_l - y)) < 0.1
+        assert np.max(np.abs(mu_g - y)) < 0.1
+
+    def test_transfer_between_identical_tasks(self, rng):
+        """A task with few samples borrows from an identical, dense task."""
+        f = lambda x: np.sin(6 * x)
+        X_dense = np.linspace(0, 1, 20)[:, None]
+        X_sparse = np.array([[0.1], [0.9]])
+        X = np.vstack([X_dense, X_sparse])
+        y = f(X[:, 0])
+        tidx = np.array([0] * 20 + [1] * 2)
+        m = LCM(2, 1, n_latent=1, seed=0, n_start=3).fit(X, y, tidx)
+        Xq = np.array([[0.5]])
+        mu, _ = m.predict(1, Xq)
+        # a 2-point single-task GP could not know f(0.5); the LCM can
+        assert abs(mu[0] - f(0.5)) < 0.35
+
+    def test_task_correlation_matrix(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=1).fit(X, y, tidx)
+        C = m.task_correlation()
+        assert C.shape == (2, 2)
+        assert np.allclose(np.diag(C), 1.0)
+        assert np.all(np.abs(C) <= 1.0 + 1e-9)
+
+    def test_executor_restarts_equivalent(self, toy_multitask_data):
+        """Serial and executor-mapped restarts find the same optimum."""
+        from repro.runtime.executor import ThreadBackend
+
+        X, y, tidx = toy_multitask_data
+        serial = LCM(2, 1, n_latent=1, seed=7, n_start=3).fit(X, y, tidx)
+        with ThreadBackend(2) as ex:
+            par = LCM(2, 1, n_latent=1, seed=7, n_start=3, executor=ex).fit(X, y, tidx)
+        assert par.log_likelihood_ == pytest.approx(serial.log_likelihood_, rel=1e-6)
+
+    def test_posterior_variance_zero_at_data(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=1).fit(X, y, tidx)
+        _, var = m.predict(0, X[tidx == 0][:3])
+        # small but not exactly zero because of the fitted noise d_i
+        assert np.all(var < 0.5)

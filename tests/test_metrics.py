@@ -1,0 +1,94 @@
+"""Unit tests for the evaluation metrics (repro.core.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import dominates, hypervolume_2d, mean_stability, pareto_mask, stability, win_task
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+        assert not dominates([1.0, 3.0], [3.0, 1.0])
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_pareto_mask(self):
+        Y = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0], [3.0, 3.0]])
+        assert pareto_mask(Y).tolist() == [True, True, True, False]
+
+    def test_pareto_mask_duplicates_kept(self):
+        Y = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert pareto_mask(Y).tolist() == [True, True, False]
+
+    def test_pareto_mask_single_objective(self):
+        Y = np.array([[3.0], [1.0], [2.0]])
+        assert pareto_mask(Y).tolist() == [False, True, False]
+
+
+class TestWinTask:
+    def test_fraction(self):
+        assert win_task([1, 1, 5], [2, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_tie_is_not_win(self):
+        assert win_task([1.0], [1.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            win_task([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            win_task([], [])
+
+
+class TestStability:
+    def test_ideal_is_one(self):
+        """Finding the global best immediately gives stability 1."""
+        assert stability([2.0, 5.0, 9.0], y_star=2.0) == pytest.approx(1.0)
+
+    def test_late_convergence_larger(self):
+        early = stability([2.0, 2.0, 2.0, 2.0], 2.0)
+        late = stability([8.0, 8.0, 8.0, 2.0], 2.0)
+        assert late > early
+
+    def test_uses_running_minimum(self):
+        # trajectory [4, 2, 6] -> running min [4, 2, 2] -> mean 8/3
+        assert stability([4.0, 2.0, 6.0], 2.0) == pytest.approx((4 + 2 + 2) / 3 / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stability([], 1.0)
+        with pytest.raises(ValueError):
+            stability([1.0], 0.0)
+
+    def test_mean_stability(self):
+        m = mean_stability([[2.0, 2.0], [4.0, 2.0]], [2.0, 2.0])
+        assert m == pytest.approx((1.0 + 1.5) / 2)
+        with pytest.raises(ValueError):
+            mean_stability([[1.0]], [1.0, 2.0])
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[1.0, 1.0]]), [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_two_points(self):
+        hv = hypervolume_2d(np.array([[0.0, 1.0], [1.0, 0.0]]), [2.0, 2.0])
+        # (2-0)*(2-1) + (2-1)*(1-0) = 2 + 1 = 3
+        assert hv == pytest.approx(3.0)
+
+    def test_dominated_point_no_extra_volume(self):
+        base = hypervolume_2d(np.array([[0.0, 0.0]]), [2.0, 2.0])
+        more = hypervolume_2d(np.array([[0.0, 0.0], [1.0, 1.0]]), [2.0, 2.0])
+        assert more == pytest.approx(base)
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d(np.array([[3.0, 3.0]]), [2.0, 2.0]) == 0.0
+
+    def test_better_front_more_volume(self):
+        a = hypervolume_2d(np.array([[1.0, 1.0]]), [4.0, 4.0])
+        b = hypervolume_2d(np.array([[0.5, 0.5]]), [4.0, 4.0])
+        assert b > a
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.array([[1.0, 1.0, 1.0]]), [2.0, 2.0, 2.0])

@@ -1,0 +1,68 @@
+"""Assorted coverage: W-cycles, categorical task sampling, CLI --models."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hypre.amg import build_hierarchy, poisson3d
+from repro.apps.hypre.gmres import gmres
+from repro.apps.superlu import SuperLUDIST
+from repro.runtime import cori_haswell
+
+
+class TestWCycle:
+    def test_w_cycle_converges_at_most_v_iterations(self):
+        A = poisson3d(8, 8, 8)
+        b = np.ones(A.shape[0])
+        v = gmres(A, b, M=build_hierarchy(A, cycle_type="V"), maxiter=100)
+        w = gmres(A, b, M=build_hierarchy(A, cycle_type="W"), maxiter=100)
+        assert w.converged and v.converged
+        assert w.iterations <= v.iterations
+
+    def test_invalid_cycle_type(self):
+        with pytest.raises(ValueError):
+            build_hierarchy(poisson3d(3, 3, 3), cycle_type="F")
+
+
+class TestCategoricalTaskSampling:
+    def test_sample_tasks_over_matrix_names(self):
+        app = SuperLUDIST(
+            machine=cori_haswell(1), matrices=["Si2", "SiNa", "Na5"], scale=0.02
+        )
+        tasks = app.sample_tasks(20, seed=0)
+        names = {t["matrix"] for t in tasks}
+        assert names <= {"Si2", "SiNa", "Na5"}
+        assert len(names) >= 2  # sampling covers the categories
+
+
+class TestCLIModels:
+    def test_tune_with_models_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["tune", "--app", "pdgeqrf", "--tasks", "3000,3000", "--samples", "6",
+             "--n-start", "1", "--models"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Popt" in out and "Oopt" in out
+
+
+class TestApplicationRepeats:
+    def test_best_of_repeats_not_worse_than_single(self):
+        from repro.apps.scalapack import PDGEQRF
+
+        one = PDGEQRF(machine=cori_haswell(1), repeats=1, seed=0, mn_max=8000)
+        three = PDGEQRF(machine=cori_haswell(1), repeats=3, seed=0, mn_max=8000)
+        t = {"m": 4000, "n": 4000}
+        cfg = {"b": 64, "p": 16, "p_r": 4}
+        # best-of-3 includes the single draw among its candidates
+        assert three.objective(t, cfg) <= one.objective(t, cfg)
+
+    def test_evaluation_counter(self):
+        from repro.apps.synthetic import SphereApp
+
+        app = SphereApp(dim=1)
+        before = app.n_evaluations
+        app.objective({"t": 1}, {"x0": 0.5})
+        app.objective({"t": 1}, {"x0": 0.6})
+        assert app.n_evaluations == before + 2

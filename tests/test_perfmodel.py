@@ -1,0 +1,91 @@
+"""Unit tests for performance-model incorporation (repro.core.perfmodel)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CallableModel, LinearPerformanceModel, ModelFeaturizer
+
+
+class TestCallableModel:
+    def test_predict(self):
+        m = CallableModel(lambda task, cfg: task["m"] * cfg["x"])
+        assert m.predict({"m": 3}, {"x": 2.0}) == 6.0
+
+    def test_update_is_noop(self):
+        m = CallableModel(lambda task, cfg: 1.0)
+        m.update([], [], np.array([]))  # must not raise
+
+
+class TestLinearPerformanceModel:
+    def test_initial_coefficients(self):
+        m = LinearPerformanceModel([lambda t, c: 2.0], initial_coefficients=[3.0])
+        assert m.predict({}, {}) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearPerformanceModel([])
+        with pytest.raises(ValueError):
+            LinearPerformanceModel([lambda t, c: 1.0], initial_coefficients=[1.0, 2.0])
+
+    def test_nnls_recovers_coefficients(self, rng):
+        """With y = 2·φ1 + 5·φ2 the update recovers (2, 5)."""
+        feats = [lambda t, c: c["a"], lambda t, c: c["b"]]
+        m = LinearPerformanceModel(feats)
+        cfgs = [{"a": float(a), "b": float(b)} for a, b in rng.random((20, 2)) * 10]
+        y = np.array([2.0 * c["a"] + 5.0 * c["b"] for c in cfgs])
+        m.update([{}] * len(cfgs), cfgs, y)
+        assert m.coefficients == pytest.approx([2.0, 5.0], rel=1e-6)
+        assert m.n_updates == 1
+
+    def test_nonnegativity_enforced(self, rng):
+        feats = [lambda t, c: c["a"]]
+        m = LinearPerformanceModel(feats)
+        cfgs = [{"a": float(a)} for a in rng.random(10) + 0.1]
+        y = -np.array([c["a"] for c in cfgs])  # negative target
+        m.update([{}] * 10, cfgs, y)
+        assert m.coefficients[0] >= 0.0
+
+    def test_underdetermined_keeps_estimate(self):
+        m = LinearPerformanceModel([lambda t, c: 1.0, lambda t, c: 2.0])
+        before = m.coefficients.copy()
+        m.update([{}], [{}], np.array([1.0]))  # 1 sample < 2 features
+        assert np.allclose(m.coefficients, before)
+        assert m.n_updates == 0
+
+
+class TestModelFeaturizer:
+    def test_wraps_plain_callables(self):
+        f = ModelFeaturizer([lambda t, c: 1.0])
+        assert f.n_features == 1
+        assert f.raw({}, {}).tolist() == [1.0]
+
+    def test_enrich_appends_columns(self, rng):
+        f = ModelFeaturizer([lambda t, c: c["x"], lambda t, c: 2 * c["x"]])
+        cfgs = [{"x": 0.2}, {"x": 0.8}]
+        X = rng.random((2, 3))
+        Xe = f.enrich({}, cfgs, X, observe=True)
+        assert Xe.shape == (2, 5)
+        # scaled to [0, 1] over the observed range
+        assert Xe[:, 3].min() == pytest.approx(0.0)
+        assert Xe[:, 3].max() == pytest.approx(1.0)
+
+    def test_scaling_consistent_for_candidates(self, rng):
+        f = ModelFeaturizer([lambda t, c: c["x"]])
+        train = [{"x": 0.0}, {"x": 1.0}]
+        f.enrich({}, train, rng.random((2, 1)), observe=True)
+        cand = f.enrich({}, [{"x": 0.5}], rng.random((1, 1)), observe=False)
+        assert cand[0, 1] == pytest.approx(0.5)
+
+    def test_out_of_range_candidates_clipped(self, rng):
+        f = ModelFeaturizer([lambda t, c: c["x"]])
+        f.enrich({}, [{"x": 0.0}, {"x": 1.0}], rng.random((2, 1)), observe=True)
+        cand = f.enrich({}, [{"x": 100.0}], rng.random((1, 1)), observe=False)
+        assert cand[0, 1] <= 2.0
+
+    def test_update_hyperparameters_delegates(self, rng):
+        lin = LinearPerformanceModel([lambda t, c: c["a"]])
+        f = ModelFeaturizer([lin])
+        cfgs = [{"a": float(a)} for a in rng.random(5) + 0.5]
+        y = np.array([3.0 * c["a"] for c in cfgs])
+        f.update_hyperparameters([{}] * 5, cfgs, y)
+        assert lin.coefficients[0] == pytest.approx(3.0, rel=1e-6)

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Categorical, Integer, Real, Space
+from repro.core.kernels import gaussian_kernel, pairwise_sq_diffs
+from repro.core.metrics import pareto_mask, stability, win_task
+from repro.core.sampling import lhs_unit
+from repro.core.search.nsga2 import crowding_distance, fast_non_dominated_sort
+
+# -- strategies ----------------------------------------------------------
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def real_params(draw):
+    lb = draw(st.floats(min_value=-1e6, max_value=1e6 - 1, allow_nan=False))
+    width = draw(st.floats(min_value=1e-3, max_value=1e6))
+    return Real("x", lb, lb + width)
+
+
+@st.composite
+def integer_params(draw):
+    lb = draw(st.integers(min_value=-1000, max_value=1000))
+    ub = lb + draw(st.integers(min_value=0, max_value=2000))
+    return Integer("k", lb, ub)
+
+
+@st.composite
+def categorical_params(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return Categorical("c", [f"cat{i}" for i in range(n)])
+
+
+# -- parameter invariants ----------------------------------------------------
+
+
+class TestParameterProperties:
+    @given(real_params(), unit)
+    @settings(max_examples=100, deadline=None)
+    def test_real_denorm_norm_identity(self, p, u):
+        """normalize(denormalize(u)) == u for reals (up to float error)."""
+        assert abs(p.normalize(p.denormalize(u)) - u) < 1e-6
+
+    @given(integer_params(), unit)
+    @settings(max_examples=100, deadline=None)
+    def test_integer_denormalize_in_bounds(self, p, u):
+        v = p.denormalize(u)
+        assert p.lb <= v <= p.ub
+
+    @given(integer_params(), unit)
+    @settings(max_examples=100, deadline=None)
+    def test_integer_roundtrip_fixed_point(self, p, u):
+        """denormalize∘normalize is a fixed point on native values."""
+        v = p.denormalize(u)
+        assert p.denormalize(p.normalize(v)) == v
+
+    @given(categorical_params(), unit)
+    @settings(max_examples=100, deadline=None)
+    def test_categorical_roundtrip_fixed_point(self, p, u):
+        v = p.denormalize(u)
+        assert p.denormalize(p.normalize(v)) == v
+
+    @given(real_params(), unit, unit)
+    @settings(max_examples=50, deadline=None)
+    def test_real_denormalize_monotone(self, p, u1, u2):
+        lo, hi = min(u1, u2), max(u1, u2)
+        assert p.denormalize(lo) <= p.denormalize(hi)
+
+
+# -- space invariants ---------------------------------------------------------
+
+
+class TestSpaceProperties:
+    @given(st.lists(unit, min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_space_roundtrip_idempotent(self, u):
+        sp = Space([Real("x", -5, 5), Integer("k", 0, 9), Categorical("c", ["a", "b", "c"])])
+        cfg = sp.denormalize(np.array(u))
+        cfg2 = sp.round_trip(cfg)
+        assert cfg == cfg2
+
+
+# -- sampler invariants ----------------------------------------------------
+
+
+class TestSamplingProperties:
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lhs_stratification_always_holds(self, n, d, seed):
+        pts = lhs_unit(n, d, np.random.default_rng(seed))
+        assert pts.shape == (n, d)
+        for j in range(d):
+            strata = np.floor(pts[:, j] * n).astype(int)
+            strata = np.minimum(strata, n - 1)
+            assert sorted(strata.tolist()) == list(range(n))
+
+
+# -- kernel invariants -----------------------------------------------------
+
+
+class TestKernelProperties:
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_psd_and_bounded(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, d))
+        ls = rng.uniform(0.05, 2.0, d)
+        K = gaussian_kernel(pairwise_sq_diffs(X), ls)
+        assert np.all(K <= 1.0 + 1e-12) and np.all(K > 0)
+        assert np.allclose(K, K.T)
+        w = np.linalg.eigvalsh(K + 1e-8 * np.eye(n))
+        assert w.min() > -1e-6
+
+
+# -- metric invariants -----------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_mask_nonempty_and_mutually_nondominating(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        Y = rng.random((n, m))
+        mask = pareto_mask(Y)
+        assert mask.any()
+        front = Y[mask]
+        # no front point strictly dominates another
+        le = np.all(front[:, None, :] <= front[None, :, :], axis=2)
+        lt = np.any(front[:, None, :] < front[None, :, :], axis=2)
+        dom = le & lt
+        assert not dom.any()
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_stability_at_least_one(self, traj):
+        """Stability normalized by the trajectory's own best is >= 1."""
+        y_star = min(traj)
+        assert stability(traj, y_star) >= 1.0 - 1e-12
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20),
+           st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_win_task_antisymmetry(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert win_task(a, b) + win_task(b, a) <= 1.0 + 1e-12
+
+
+# -- NSGA-II machinery ----------------------------------------------------
+
+
+class TestSortingProperties:
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_fronts_partition_population(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        F = rng.random((n, m))
+        fronts = fast_non_dominated_sort(F)
+        allidx = np.concatenate(fronts)
+        assert sorted(allidx.tolist()) == list(range(n))
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_earlier_fronts_not_dominated_by_later(self, n, seed):
+        rng = np.random.default_rng(seed)
+        F = rng.random((n, 2))
+        fronts = fast_non_dominated_sort(F)
+        for r in range(len(fronts) - 1):
+            for i in fronts[r + 1]:
+                dominated_by_front = any(
+                    np.all(F[j] <= F[i]) and np.any(F[j] < F[i]) for j in fronts[r]
+                )
+                assert dominated_by_front
+
+    @given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_crowding_nonnegative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = crowding_distance(rng.random((n, 2)))
+        assert np.all(d >= 0)

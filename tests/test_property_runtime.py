@@ -1,0 +1,101 @@
+"""Property-based tests on the runtime and surrogate layers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hypre.amg import build_hierarchy, poisson3d
+from repro.apps.hypre.gmres import gmres
+from repro.core import LCM
+from repro.runtime import Machine, run_spmd
+from repro.runtime import costmodel as cm
+
+MACH = Machine(nodes=2, cores_per_node=4)
+
+
+class TestSimMPIProperties:
+    @given(st.integers(min_value=1, max_value=6),
+           st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=6, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_equals_max_work_without_comm(self, nranks, works):
+        def fn(comm):
+            comm.compute(works[comm.rank])
+
+        _, t = run_spmd(nranks, fn, machine=MACH)
+        assert t == max(works[:nranks])
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_agrees_on_all_ranks(self, nranks, base):
+        def fn(comm):
+            return comm.allreduce(base + comm.rank)
+
+        results, _ = run_spmd(nranks, fn, machine=MACH)
+        expected = sum(base + r for r in range(nranks))
+        assert all(r == expected for r in results)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_barrier_clock_agreement(self, nranks):
+        def fn(comm):
+            comm.compute(float(comm.rank))
+            comm.barrier()
+            return comm.clock.now
+
+        results, _ = run_spmd(nranks, fn, machine=MACH)
+        assert max(results) - min(results) < 1e-12
+
+    @given(st.integers(min_value=1, max_value=4096), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_collective_costs_nonnegative_and_monotone_in_p(self, nbytes, p):
+        t1 = cm.bcast_time(MACH, nbytes, p)
+        t2 = cm.bcast_time(MACH, nbytes, 2 * p)
+        assert t1 >= 0.0
+        assert t2 >= t1  # more ranks never cheaper
+
+
+class TestLCMProperties:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_posterior_interpolates_clean_data(self, seed):
+        """With noise-free smooth data the posterior mean at training points
+        stays close to the observations (whatever the random seed)."""
+        rng = np.random.default_rng(seed)
+        X = np.sort(rng.random(10))[:, None]
+        y = np.sin(3 * X[:, 0])
+        lcm = LCM(1, 1, seed=seed, n_start=2, maxiter=80).fit(
+            X, y, np.zeros(10, dtype=int)
+        )
+        mu, var = lcm.predict(0, X)
+        assert np.max(np.abs(mu - y)) < 0.3
+        assert np.all(var >= 0)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_variance_never_negative_off_data(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((8, 2))
+        y = rng.normal(size=8)
+        lcm = LCM(2, 2, seed=seed, n_start=1, maxiter=50).fit(
+            X, y, np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        )
+        _, var = lcm.predict(1, rng.random((20, 2)))
+        assert np.all(var >= 0)
+
+
+class TestAMGProperties:
+    @given(st.integers(min_value=4, max_value=7), st.floats(min_value=0.1, max_value=0.6))
+    @settings(max_examples=8, deadline=None)
+    def test_amg_gmres_always_converges_on_poisson(self, n, theta):
+        A = poisson3d(n, n, n)
+        H = build_hierarchy(A, strong_threshold=theta)
+        b = np.ones(A.shape[0])
+        res = gmres(A, b, M=H, rtol=1e-8, maxiter=120)
+        assert res.converged
+        assert res.iterations <= 60  # AMG keeps Poisson iteration counts low
+
+    @given(st.integers(min_value=4, max_value=7))
+    @settings(max_examples=6, deadline=None)
+    def test_hierarchy_sizes_strictly_decrease(self, n):
+        H = build_hierarchy(poisson3d(n, n, n))
+        sizes = [lv.A.shape[0] for lv in H.levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,108 @@
+"""Tests for the ASCII figure renderer (repro.reporting)."""
+
+import json
+
+import pytest
+
+from repro.reporting import bar_chart, line_chart, main, render_results_dir, scatter_plot
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], title="T", width=10)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_reference_marker(self):
+        out = bar_chart(["a"], [2.0], width=10, reference=1.0)
+        assert "|" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], [], title="x")
+
+
+class TestScatterPlot:
+    def test_points_placed(self):
+        out = scatter_plot({"s": ([0.0, 1.0], [0.0, 1.0])}, width=20, height=10)
+        body = "\n".join(out.splitlines()[:-2])  # strip axis + legend rows
+        assert body.count("*") == 2
+        assert "s" in out.splitlines()[-1]  # legend
+
+    def test_two_series_glyphs(self):
+        out = scatter_plot(
+            {"a": ([0.0], [0.0]), "b": ([1.0], [1.0])}, width=20, height=8
+        )
+        assert "*" in out and "o" in out
+
+    def test_log_axes(self):
+        out = scatter_plot(
+            {"s": ([1.0, 10.0, 100.0], [1.0, 10.0, 100.0])},
+            logx=True,
+            logy=True,
+        )
+        body = "\n".join(out.splitlines()[:-2])
+        assert body.count("*") == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_plot({"s": ([0.0], [0.0, 1.0])})
+
+    def test_too_many_series(self):
+        with pytest.raises(ValueError):
+            scatter_plot({f"s{i}": ([0.0], [0.0]) for i in range(9)})
+
+    def test_degenerate_single_point(self):
+        out = scatter_plot({"s": ([5.0], [5.0])})
+        assert "*" in out
+
+    def test_line_chart_shares_x(self):
+        out = line_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*" in out and "o" in out
+
+
+class TestRenderResultsDir:
+    def test_renders_known_payloads(self, tmp_path):
+        (tmp_path / "fig6_pdgeqrf.json").write_text(
+            json.dumps(
+                {"gptune": [1.0, 2.0], "opentuner": [2.0, 2.0], "hpbandster": [1.5, 4.0]}
+            )
+        )
+        (tmp_path / "fig3_scaling.json").write_text(
+            json.dumps(
+                {"measured": [{"N": 10, "modeling_s": 0.1, "search_s": 0.05},
+                              {"N": 20, "modeling_s": 0.9, "search_s": 0.1}]}
+            )
+        )
+        (tmp_path / "fig7_right_multitask.json").write_text(
+            json.dumps(
+                {"Si2": {"front_multi": [[1e-3, 1e5], [2e-3, 5e4]],
+                         "front_single": [[1.5e-3, 1.2e5]]}}
+            )
+        )
+        report = render_results_dir(str(tmp_path))
+        assert "OpenTuner/GPTune" in report
+        assert "Fig. 3" in report
+        assert "Pareto fronts" in report
+
+    def test_missing_dir(self):
+        with pytest.raises(FileNotFoundError):
+            render_results_dir("/nonexistent/dir")
+
+    def test_unrenderable_payload_flagged(self, tmp_path):
+        (tmp_path / "fig6_x.json").write_text(json.dumps({"bogus": 1}))
+        assert "unrenderable" in render_results_dir(str(tmp_path))
+
+    def test_main_prints(self, tmp_path, capsys):
+        (tmp_path / "fig6_a.json").write_text(
+            json.dumps({"gptune": [1.0], "opentuner": [2.0], "hpbandster": [1.0]})
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "ratio" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Tests for executor backends (repro.runtime.executor)."""
+
+import pytest
+
+from repro.runtime import ProcessBackend, SerialBackend, ThreadBackend, make_executor
+
+
+def _square(x):
+    return x * x
+
+
+class TestBackends:
+    def test_serial_order(self):
+        assert SerialBackend().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_thread_order_preserved(self):
+        with ThreadBackend(3) as ex:
+            assert ex.map(_square, range(10)) == [i * i for i in range(10)]
+
+    def test_process_backend(self):
+        with ProcessBackend(2) as ex:
+            assert ex.map(_square, [2, 3]) == [4, 9]
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+        with pytest.raises(ValueError):
+            ProcessBackend(0)
+
+    def test_context_manager_shutdown(self):
+        ex = ThreadBackend(1)
+        with ex:
+            pass
+        # pool is shut down; submitting again must fail
+        with pytest.raises(RuntimeError):
+            ex.map(_square, [1])
+
+
+class TestFactory:
+    def test_make_serial(self):
+        assert isinstance(make_executor("serial"), SerialBackend)
+
+    def test_make_thread(self):
+        ex = make_executor("thread", 2)
+        assert isinstance(ex, ThreadBackend) and ex.n_workers == 2
+        ex.shutdown()
+
+    def test_make_process(self):
+        ex = make_executor("process", 1)
+        assert isinstance(ex, ProcessBackend)
+        ex.shutdown()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_executor("quantum")

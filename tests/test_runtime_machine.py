@@ -1,0 +1,116 @@
+"""Unit tests for machine models and cost models (repro.runtime)."""
+
+import math
+
+import pytest
+
+from repro.runtime import Machine, cori_haswell, laptop
+from repro.runtime import costmodel as cm
+
+
+class TestMachine:
+    def test_cori_preset(self):
+        m = cori_haswell(64)
+        assert m.nodes == 64
+        assert m.cores_per_node == 32
+        assert m.total_cores == 2048
+
+    def test_laptop_preset(self):
+        assert laptop().total_cores == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(nodes=0)
+        with pytest.raises(ValueError):
+            Machine(latency=-1.0)
+        with pytest.raises(ValueError):
+            Machine(flops_per_core=0)
+
+    def test_time_flops_scales_with_cores(self):
+        m = cori_haswell(1)
+        assert m.time_flops(1e12, cores=32) == pytest.approx(m.time_flops(1e12, cores=1) / 32)
+
+    def test_core_count_capped(self):
+        m = cori_haswell(1)
+        assert m.time_flops(1e12, cores=10_000) == m.time_flops(1e12, cores=32)
+
+    def test_time_message_alpha_beta(self):
+        m = Machine(latency=1e-6, inv_bandwidth=1e-9)
+        assert m.time_message(0) == pytest.approx(1e-6)
+        assert m.time_message(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            cori_haswell(1).nodes = 5
+
+
+class TestCollectiveCosts:
+    def setup_method(self):
+        self.m = cori_haswell(1)
+
+    def test_single_rank_free(self):
+        assert cm.bcast_time(self.m, 1000, 1) == 0.0
+        assert cm.barrier_time(self.m, 1) == 0.0
+        assert cm.gather_time(self.m, 1000, 1) == 0.0
+
+    def test_bcast_log_scaling(self):
+        t4 = cm.bcast_time(self.m, 1000, 4)
+        t16 = cm.bcast_time(self.m, 1000, 16)
+        assert t16 == pytest.approx(2 * t4)
+
+    def test_allreduce_equals_bcast_shape(self):
+        assert cm.allreduce_time(self.m, 8, 8) == cm.bcast_time(self.m, 8, 8)
+
+    def test_gather_doubling_payloads(self):
+        t = cm.gather_time(self.m, 100, 4)
+        expected = self.m.time_message(100) + self.m.time_message(200)
+        assert t == pytest.approx(expected)
+
+    def test_alltoall_linear_in_p(self):
+        t4 = cm.alltoall_time(self.m, 100, 4)
+        t8 = cm.alltoall_time(self.m, 100, 8)
+        assert t8 / t4 == pytest.approx(7 / 3)
+
+
+class TestLinearAlgebraCosts:
+    def setup_method(self):
+        self.m = cori_haswell(1)
+
+    def test_cholesky_flops(self):
+        assert cm.cholesky_flops(100) == pytest.approx(1e6 / 3)
+
+    def test_parallel_cholesky_speedup(self):
+        t1 = cm.parallel_cholesky_time(self.m, 4000, 1)
+        t16 = cm.parallel_cholesky_time(self.m, 4000, 16)
+        assert t16 < t1
+        assert t1 / t16 <= 16.0 + 1e-9
+
+    def test_parallel_cholesky_comm_floor(self):
+        """Tiny matrices on many processes are latency dominated."""
+        t1 = cm.parallel_cholesky_time(self.m, 64, 1)
+        t32 = cm.parallel_cholesky_time(self.m, 64, 32)
+        assert t32 > t1
+
+    def test_modeling_time_cubic_scaling(self):
+        """Serial modeling time follows O(N³) = O(ε³δ³) (Fig. 3)."""
+        t1 = cm.lbfgs_modeling_time(self.m, 400, 50, 1, 1)
+        t2 = cm.lbfgs_modeling_time(self.m, 800, 50, 1, 1)
+        assert t2 / t1 == pytest.approx(8.0, rel=0.15)
+
+    def test_modeling_time_parallel_restarts(self):
+        tserial = cm.lbfgs_modeling_time(self.m, 400, 50, 8, 1)
+        tpar = cm.lbfgs_modeling_time(self.m, 400, 50, 8, 8)
+        assert tserial / tpar > 4.0
+
+    def test_search_time_quadratic_scaling(self):
+        """Serial search time follows O(N²) = O(ε²δ²) (Fig. 3)."""
+        t1 = cm.search_phase_time(self.m, 20, 400, 1)
+        t2 = cm.search_phase_time(self.m, 20, 800, 1)
+        assert t2 / t1 == pytest.approx(4.0, rel=0.1)
+
+    def test_search_speedup_capped_by_tasks(self):
+        """Distributing δ tasks over more than δ ranks cannot help (paper:
+        'the speedup is at most δ = 20')."""
+        t_d = cm.search_phase_time(self.m, 20, 400, 20)
+        t_more = cm.search_phase_time(self.m, 20, 400, 128)
+        assert t_more == pytest.approx(t_d)

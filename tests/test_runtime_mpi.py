@@ -1,0 +1,301 @@
+"""Tests for the simulated MPI runtime (repro.runtime.mpi)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine, SimJob, run_spmd
+from repro.runtime.mpi import payload_bytes
+
+MACH = Machine(nodes=4, cores_per_node=8)
+
+
+class TestBasics:
+    def test_ranks_and_sizes(self):
+        results, _ = run_spmd(4, lambda c: (c.Get_rank(), c.Get_size()), machine=MACH)
+        assert results == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_single_rank(self):
+        results, t = run_spmd(1, lambda c: c.rank, machine=MACH)
+        assert results == [0] and t == 0.0
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            SimJob(0, lambda c: None)
+
+    def test_error_propagates(self):
+        def boom(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        job = SimJob(2, boom, machine=MACH).start()
+        with pytest.raises(Exception):
+            job.join()
+
+    def test_compute_advances_clock(self):
+        def fn(comm):
+            comm.compute(2.5)
+            return comm.clock.now
+
+        results, makespan = run_spmd(3, fn, machine=MACH)
+        assert all(r == 2.5 for r in results)
+        assert makespan == 2.5
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results, t = run_spmd(2, fn, machine=MACH)
+        assert results[1] == {"a": 7}
+        assert t > 0.0  # communication charged simulated time
+
+    def test_tag_matching(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("second", dest=1, tag=2)
+                comm.send("first", dest=1, tag=1)
+                return None
+            a = comm.recv(source=0, tag=1)
+            b = comm.recv(source=0, tag=2)
+            return (a, b)
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert results[1] == ("first", "second")
+
+    def test_causality(self):
+        """A receive cannot complete before the send happened."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(5.0)
+                comm.send("late", dest=1)
+                return comm.clock.now
+            comm.recv(source=0)
+            return comm.clock.now
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert results[1] >= 5.0
+
+    def test_bad_dest(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=9)
+
+        job = SimJob(2, fn, machine=MACH).start()
+        with pytest.raises(Exception):
+            job.join()
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"k": [1, 2, 3]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        results, t = run_spmd(4, fn, machine=MACH)
+        assert all(r == {"k": [1, 2, 3]} for r in results)
+        assert t > 0
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results, _ = run_spmd(4, fn, machine=MACH)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def fn(comm):
+            return comm.allgather(comm.rank)
+
+        results, _ = run_spmd(3, fn, machine=MACH)
+        assert all(r == [0, 1, 2] for r in results)
+
+    def test_scatter(self):
+        def fn(comm):
+            data = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        results, _ = run_spmd(3, fn, machine=MACH)
+        assert results == [10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            data = [1, 2] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        job = SimJob(3, fn, machine=MACH).start()
+        with pytest.raises(Exception):
+            job.join()
+
+    def test_reduce_sum(self):
+        def fn(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        results, _ = run_spmd(4, fn, machine=MACH)
+        assert results[0] == 10
+        assert results[1] is None
+
+    def test_allreduce_custom_op(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        results, _ = run_spmd(5, fn, machine=MACH)
+        assert all(r == 4 for r in results)
+
+    def test_barrier_synchronizes_clocks(self):
+        def fn(comm):
+            comm.compute(float(comm.rank))  # rank 3 is slowest
+            comm.barrier()
+            return comm.clock.now
+
+        results, _ = run_spmd(4, fn, machine=MACH)
+        assert all(r >= 3.0 for r in results)
+        assert results[0] == pytest.approx(results[3])
+
+    def test_numpy_payloads(self):
+        def fn(comm):
+            arr = np.arange(10) if comm.rank == 0 else None
+            return comm.bcast(arr, root=0)
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert np.array_equal(results[1], np.arange(10))
+
+
+class TestSpawn:
+    def test_spawn_master_worker_roundtrip(self):
+        """The Fig. 1 programming model: master spawns workers, broadcasts
+        work, gathers results, disconnects."""
+
+        def worker(comm):
+            parent = comm.Get_parent()
+            x = parent.worker_recv_bcast(comm)
+            comm.compute(0.5)
+            parent.worker_send_result(comm, x * (comm.rank + 1))
+
+        def master(comm):
+            inter = comm.Spawn(worker, nprocs=3)
+            inter.bcast_to_workers(10)
+            results = inter.gather_from_workers()
+            makespan = inter.Disconnect()
+            return results, makespan
+
+        results, t = run_spmd(1, master, machine=MACH)
+        vals, child_makespan = results[0]
+        assert vals == [10, 20, 30]
+        assert child_makespan >= 0.5
+        assert t >= child_makespan  # master absorbed the child time
+
+    def test_spawned_clocks_start_at_spawner_time(self):
+        def worker(comm):
+            return comm.clock.now
+
+        def master(comm):
+            comm.compute(2.0)
+            inter = comm.Spawn(worker, nprocs=2)
+            inter.Disconnect()
+            return inter._job.results
+
+        results, _ = run_spmd(1, master, machine=MACH)
+        assert all(t >= 2.0 for t in results[0])
+
+
+class TestPayload:
+    def test_payload_bytes_scales(self):
+        small = payload_bytes([1])
+        big = payload_bytes(list(range(10000)))
+        assert big > small
+
+    def test_unpicklable_fallback(self):
+        assert payload_bytes(lambda x: x) == 64
+
+
+class TestMakespan:
+    def test_makespan_is_max_clock(self):
+        def fn(comm):
+            comm.compute(1.0 if comm.rank == 0 else 4.0)
+
+        _, t = run_spmd(2, fn, machine=MACH)
+        assert t == 4.0
+
+
+class TestNonblocking:
+    def test_isend_irecv_roundtrip(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend({"v": 42}, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert results[1] == {"v": 42}
+
+    def test_irecv_overlaps_compute(self):
+        """Work issued between irecv and wait overlaps the transfer."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(1.0)
+                comm.send("late", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            comm.compute(1.0)  # overlaps the sender's compute
+            req.wait()
+            return comm.clock.now
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        # without overlap the receiver would finish after ~2.0s
+        assert results[1] < 1.5
+
+    def test_test_polls_without_blocking(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(0.1)
+                comm.send("x", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            polls = 0
+            import time as _t
+
+            while True:
+                done, val = req.test()
+                if done:
+                    return polls, val
+                polls += 1
+                _t.sleep(0.001)
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        polls, val = results[1]
+        assert val == "x"
+
+    def test_isend_completes_immediately(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend("y", dest=1)
+                done, _ = req.test()
+                comm.send("flush", dest=1, tag=9)
+                return done
+            comm.recv(source=0, tag=9)
+            return comm.recv(source=0)
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert results[0] is True
+        assert results[1] == "y"
+
+    def test_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(7, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            return req.wait(), req.wait()
+
+        results, _ = run_spmd(2, fn, machine=MACH)
+        assert results[1] == (7, 7)

@@ -1,0 +1,73 @@
+"""Unit tests for the initial-design samplers (repro.core.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Integer, LHSSampler, RandomSampler, Real, Space, lhs_unit, sample_feasible
+
+
+class TestLHSUnit:
+    def test_shape(self, rng):
+        pts = lhs_unit(7, 3, rng)
+        assert pts.shape == (7, 3)
+        assert np.all((0 <= pts) & (pts <= 1))
+
+    def test_stratification(self, rng):
+        """Every dimension has exactly one point per stratum."""
+        n = 10
+        pts = lhs_unit(n, 2, rng)
+        for j in range(2):
+            strata = np.floor(pts[:, j] * n).astype(int)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_single_point(self, rng):
+        assert lhs_unit(1, 4, rng).shape == (1, 4)
+
+    def test_maximin_improves_on_first(self, rng):
+        """The maximin selection never returns a worse design than iteration 1."""
+
+        def min_dist(pts):
+            d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+
+        best = lhs_unit(12, 2, np.random.default_rng(0), iterations=20)
+        one = lhs_unit(12, 2, np.random.default_rng(0), iterations=1)
+        assert min_dist(best) >= min_dist(one) - 1e-12
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            lhs_unit(0, 2, rng)
+        with pytest.raises(ValueError):
+            lhs_unit(2, 0, rng)
+
+
+class TestSamplers:
+    def test_lhs_sampler_feasible(self, mixed_space):
+        out = LHSSampler(mixed_space, seed=0).sample(20)
+        assert len(out) == 20
+        assert all(mixed_space.is_feasible(c) for c in out)
+
+    def test_lhs_sampler_reproducible(self, mixed_space):
+        a = LHSSampler(mixed_space, seed=42).sample(5)
+        b = LHSSampler(mixed_space, seed=42).sample(5)
+        assert a == b
+
+    def test_random_sampler_feasible(self, mixed_space):
+        out = RandomSampler(mixed_space, seed=1).sample(15)
+        assert len(out) == 15
+        assert all(mixed_space.is_feasible(c) for c in out)
+
+    def test_extra_bindings(self):
+        sp = Space([Integer("p", 1, 64)], constraints=["p <= cap"])
+        out = RandomSampler(sp, seed=0).sample(10, extra={"cap": 8})
+        assert all(c["p"] <= 8 for c in out)
+
+    def test_infeasible_space_raises(self, rng):
+        sp = Space([Real("x", 0, 1)], constraints=["x > 2"])
+        with pytest.raises(RuntimeError):
+            sample_feasible(sp, 1, rng, max_tries=100)
+
+    def test_sample_feasible_count(self, mixed_space, rng):
+        out = sample_feasible(mixed_space, 7, rng)
+        assert len(out) == 7

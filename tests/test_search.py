@@ -1,0 +1,149 @@
+"""Unit tests for the search-phase optimizers (PSO, NSGA-II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NSGA2, ParticleSwarm
+from repro.core.search.nsga2 import crowding_distance, fast_non_dominated_sort
+
+
+class TestPSO:
+    def test_finds_smooth_maximum(self):
+        target = np.array([0.3, 0.7])
+
+        def f(X):
+            return -np.sum((X - target) ** 2, axis=1)
+
+        pso = ParticleSwarm(dim=2, n_particles=30, iterations=40, seed=0)
+        x, v = pso.maximize(f)
+        assert np.allclose(x, target, atol=0.05)
+        assert v == pytest.approx(0.0, abs=1e-2)
+
+    def test_respects_bounds(self):
+        def f(X):
+            return X[:, 0]  # pushes toward the boundary
+
+        x, _ = ParticleSwarm(dim=1, n_particles=10, iterations=30, seed=1).maximize(f)
+        assert 0.0 <= x[0] <= 1.0
+        assert x[0] > 0.95
+
+    def test_seed_reproducible(self):
+        f = lambda X: -np.sum((X - 0.5) ** 2, axis=1)
+        a = ParticleSwarm(2, 10, 10, seed=5).maximize(f)
+        b = ParticleSwarm(2, 10, 10, seed=5).maximize(f)
+        assert np.allclose(a[0], b[0]) and a[1] == b[1]
+
+    def test_x0_seeding_helps(self):
+        """An injected good start is never lost (elitist pbest)."""
+        target = np.array([0.111, 0.222, 0.333, 0.444])
+        f = lambda X: -np.sum((X - target) ** 2, axis=1)
+        pso = ParticleSwarm(dim=4, n_particles=5, iterations=2, seed=0)
+        x, v = pso.maximize(f, x0=target[None, :])
+        assert v >= -1e-12
+
+    def test_infeasible_minus_inf_handled(self):
+        def f(X):
+            vals = -np.sum((X - 0.5) ** 2, axis=1)
+            vals[X[:, 0] > 0.5] = -np.inf
+            return vals
+
+        x, v = ParticleSwarm(dim=1, n_particles=20, iterations=30, seed=2).maximize(f)
+        assert x[0] <= 0.5 and np.isfinite(v)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ParticleSwarm(dim=0)
+
+
+class TestNonDominatedSort:
+    def test_simple_fronts(self):
+        F = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0], [3.0, 3.0]])
+        fronts = fast_non_dominated_sort(F)
+        assert set(fronts[0].tolist()) == {0, 2}
+        assert set(fronts[1].tolist()) == {1}
+        assert set(fronts[2].tolist()) == {3}
+
+    def test_all_nondominated(self):
+        F = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        fronts = fast_non_dominated_sort(F)
+        assert len(fronts) == 1 and len(fronts[0]) == 3
+
+    def test_duplicates_same_front(self):
+        F = np.array([[1.0, 1.0], [1.0, 1.0]])
+        fronts = fast_non_dominated_sort(F)
+        assert len(fronts[0]) == 2
+
+    def test_partition_is_complete(self, rng):
+        F = rng.random((20, 3))
+        fronts = fast_non_dominated_sort(F)
+        together = np.concatenate(fronts)
+        assert sorted(together.tolist()) == list(range(20))
+
+
+class TestCrowdingDistance:
+    def test_boundary_infinite(self):
+        F = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        d = crowding_distance(F)
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+    def test_small_fronts_all_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0]]))))
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))))
+
+    def test_denser_region_smaller_distance(self):
+        F = np.array([[0.0, 4.0], [0.1, 3.9], [0.2, 3.8], [2.0, 1.0], [4.0, 0.0]])
+        d = crowding_distance(F)
+        assert d[1] < d[3]
+
+
+class TestNSGA2:
+    def test_converges_to_known_front(self):
+        """min (x², (x−1)²) on x ∈ [0,1] — the front is x ∈ [0,1] with
+        f1 + sqrt-shape; check solutions lie near the true front curve."""
+
+        def objectives(X):
+            x = X[:, 0]
+            return np.column_stack([x**2, (x - 1.0) ** 2])
+
+        nsga = NSGA2(dim=1, pop_size=30, generations=30, seed=0)
+        Xf, Ff = nsga.minimize(objectives)
+        assert Xf.shape[0] >= 5
+        # on the true Pareto front, sqrt(f1) + sqrt(f2) == 1
+        resid = np.abs(np.sqrt(Ff[:, 0]) + np.sqrt(Ff[:, 1]) - 1.0)
+        assert np.median(resid) < 0.05
+
+    def test_front_spread(self):
+        def objectives(X):
+            x = X[:, 0]
+            return np.column_stack([x**2, (x - 1.0) ** 2])
+
+        _, Ff = NSGA2(dim=1, pop_size=40, generations=30, seed=1).minimize(objectives)
+        assert Ff[:, 0].max() - Ff[:, 0].min() > 0.5
+
+    def test_returned_front_is_nondominated(self, rng):
+        def objectives(X):
+            return np.column_stack([X[:, 0], 1.0 - X[:, 0] + 0.3 * X[:, 1]])
+
+        _, Ff = NSGA2(dim=2, pop_size=20, generations=10, seed=2).minimize(objectives)
+        fronts = fast_non_dominated_sort(Ff)
+        assert len(fronts) == 1
+
+    def test_infeasible_inf_rows_excluded(self):
+        def objectives(X):
+            F = np.column_stack([X[:, 0], 1.0 - X[:, 0]])
+            F[X[:, 0] > 0.5] = np.inf
+            return F
+
+        _, Ff = NSGA2(dim=1, pop_size=20, generations=15, seed=3).minimize(objectives)
+        finite = Ff[np.all(np.isfinite(Ff), axis=1)]
+        assert finite.shape[0] >= 1
+        assert np.all(finite[:, 0] <= 0.5 + 1e-9)
+
+    def test_seed_reproducible(self):
+        def objectives(X):
+            return np.column_stack([X[:, 0], 1.0 - X[:, 0]])
+
+        a = NSGA2(dim=1, pop_size=10, generations=5, seed=9).minimize(objectives)
+        b = NSGA2(dim=1, pop_size=10, generations=5, seed=9).minimize(objectives)
+        assert np.allclose(a[1], b[1])

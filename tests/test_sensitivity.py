@@ -1,0 +1,99 @@
+"""Tests for Sobol sensitivity analysis (repro.core.sensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GPTune,
+    Integer,
+    LCM,
+    Options,
+    Real,
+    Space,
+    TuningProblem,
+    sobol_indices,
+    surrogate_sensitivity,
+)
+
+
+class TestSobolIndices:
+    def test_additive_function_known_indices(self):
+        """f = a·x1 + b·x2 with uniform inputs: S_i = a_i²/(a²+b²)."""
+        a, b = 3.0, 1.0
+
+        def f(U):
+            return a * U[:, 0] + b * U[:, 1]
+
+        idx = sobol_indices(f, 2, n_base=8192, seed=0)
+        expect = np.array([a**2, b**2]) / (a**2 + b**2)
+        assert np.allclose(idx["S1"], expect, atol=0.08)
+        assert np.allclose(idx["ST"], expect, atol=0.08)  # no interactions
+        assert idx["S1"][0] > idx["S1"][1]
+
+    def test_pure_interaction(self):
+        """f = (x1−½)(x2−½): first-order ~0, total-order ~1 for both."""
+
+        def f(U):
+            return (U[:, 0] - 0.5) * (U[:, 1] - 0.5)
+
+        idx = sobol_indices(f, 2, n_base=4096, seed=1)
+        assert np.all(idx["S1"] < 0.1)
+        assert np.all(idx["ST"] > 0.8)
+
+    def test_irrelevant_dimension_zero(self):
+        def f(U):
+            return np.sin(4 * U[:, 0])
+
+        idx = sobol_indices(f, 3, n_base=2048, seed=2)
+        assert idx["ST"][0] > 0.9
+        assert idx["ST"][1] < 0.05 and idx["ST"][2] < 0.05
+
+    def test_constant_function(self):
+        idx = sobol_indices(lambda U: np.ones(U.shape[0]), 2, n_base=256, seed=3)
+        assert np.allclose(idx["S1"], 0.0) and np.allclose(idx["ST"], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sobol_indices(lambda U: U[:, 0], 0)
+        with pytest.raises(ValueError):
+            sobol_indices(lambda U: U[:, 0], 2, n_base=4)
+
+    def test_clipped_to_unit_interval(self):
+        rng_f = np.random.default_rng(5)
+
+        def noisy(U):
+            return rng_f.normal(size=U.shape[0])  # pure noise: wild estimates
+
+        idx = sobol_indices(noisy, 2, n_base=64, seed=4)
+        assert np.all((0 <= idx["S1"]) & (idx["S1"] <= 1))
+        assert np.all((0 <= idx["ST"]) & (idx["ST"] <= 1))
+
+
+class TestSurrogateSensitivity:
+    def test_identifies_dominant_parameter(self):
+        """Tune y = (x − .5)² + 0.01·k; x must dominate the sensitivity."""
+        ts = Space([Integer("t", 1, 2)])
+        ps = Space([Real("x", 0.0, 1.0), Integer("k", 0, 9)])
+        prob = TuningProblem(
+            ts, ps, lambda t, c: (c["x"] - 0.5) ** 2 + 0.001 * c["k"] + 0.01
+        )
+        res = GPTune(prob, Options(seed=0, n_start=2, pso_iters=5, ei_candidates=10)).tune(
+            [{"t": 1}], 16
+        )
+        sens = surrogate_sensitivity(res.models[0], res.data, task=0, n_base=512, seed=0)
+        names = list(sens)
+        assert names[0] == "x"  # sorted by total-order index
+        assert sens["x"]["ST"] > sens["k"]["ST"]
+
+    def test_enriched_model_rejected(self):
+        ts = Space([Integer("t", 1, 2)])
+        ps = Space([Real("x", 0.0, 1.0)])
+        prob = TuningProblem(ts, ps, lambda t, c: c["x"] ** 2 + 0.01)
+        from repro.core import TuningData
+
+        data = TuningData(ts, ps, [{"t": 1}])
+        lcm = LCM(1, 3, seed=0, n_start=1)  # 3 dims ≠ 1-dim tuning space
+        rng = np.random.default_rng(0)
+        lcm.fit(rng.random((6, 3)), rng.random(6), np.zeros(6, dtype=int))
+        with pytest.raises(ValueError):
+            surrogate_sensitivity(lcm, data, 0)

@@ -1,0 +1,63 @@
+"""Tests for the synthetic benchmark families (repro.apps.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import BraninApp, RosenbrockApp, SphereApp, branin
+from repro.core import GPTune, Options
+
+FAST = Options(seed=0, n_start=1, pso_iters=10, ei_candidates=16, lbfgs_maxiter=60)
+
+
+class TestBranin:
+    def test_known_minima(self):
+        """All three classical minimizers give the optimum value."""
+        for x1, x2 in [(-np.pi, 12.275), (np.pi, 2.275), (9.42478, 2.475)]:
+            assert branin(x1, x2) == pytest.approx(BraninApp.OPTIMUM, abs=1e-5)
+
+    def test_task_shift_preserves_optimum(self):
+        app = BraninApp()
+        y = app.objective({"t": 2.0}, {"x1": np.pi, "x2": 2.275 + 2.0})
+        assert y == pytest.approx(BraninApp.OPTIMUM, abs=1e-5)
+
+    def test_tunable_to_near_optimum(self):
+        app = BraninApp()
+        res = GPTune(app.problem(), FAST).tune([{"t": 0.0}], 30)
+        assert res.best(0)[1] < 3.0  # within the basin at this tiny budget
+
+
+class TestRosenbrock:
+    def test_minimum_at_ones(self):
+        app = RosenbrockApp(dim=3)
+        cfg = {f"x{i}": 1.0 for i in range(3)}
+        for t in (1, 50, 200):
+            assert app.objective({"t": t}, cfg) == pytest.approx(0.0, abs=1e-12)
+
+    def test_harder_with_larger_t(self):
+        app = RosenbrockApp(dim=2)
+        near = {"x0": 0.9, "x1": 0.7}
+        assert app.objective({"t": 200}, near) > app.objective({"t": 1}, near)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            RosenbrockApp(dim=1)
+
+
+class TestSphere:
+    def test_minimum_location(self):
+        app = SphereApp(dim=2)
+        assert app.objective({"t": 4}, {"x0": 0.4, "x1": 0.4}) == pytest.approx(0.01)
+
+    def test_multitask_tuning_tracks_moving_optimum(self):
+        app = SphereApp(dim=2)
+        tasks = [{"t": 2}, {"t": 8}]
+        res = GPTune(app.problem(), FAST).tune(tasks, 14)
+        for i, t in enumerate(tasks):
+            cfg, val = res.best(i)
+            target = t["t"] / 10.0
+            assert abs(cfg["x0"] - target) < 0.2
+            assert abs(cfg["x1"] - target) < 0.2
+
+    def test_default_config(self):
+        app = SphereApp(dim=2)
+        assert app.default_config({"t": 0}) == {"x0": 0.5, "x1": 0.5}

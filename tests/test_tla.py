@@ -1,0 +1,134 @@
+"""Tests for transfer-learning autotuning (repro.core.tla) and the
+frozen/preload extensions of the MLA driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPTune, Integer, Options, Real, Space, TransferLearner, TuningProblem
+
+FAST = Options(seed=0, n_start=1, pso_iters=8, ei_candidates=12, lbfgs_maxiter=50)
+
+
+def quadratic_problem(counter=None):
+    """Optimum moves smoothly with the task: x* = t/10."""
+    ts = Space([Integer("t", 0, 10)])
+    ps = Space([Real("x", 0.0, 1.0)])
+
+    def obj(t, c):
+        if counter is not None:
+            counter["n"] += 1
+        return (c["x"] - t["t"] / 10.0) ** 2 + 0.01
+
+    return TuningProblem(ts, ps, obj, name="quad")
+
+
+@pytest.fixture
+def source_result():
+    prob = quadratic_problem()
+    return prob, GPTune(prob, FAST).tune([{"t": 2}, {"t": 4}, {"t": 8}], 12)
+
+
+class TestTLA0:
+    def test_predicts_interpolated_optimum(self, source_result):
+        prob, res = source_result
+        tla = TransferLearner(prob, res.data)
+        cfg = tla.predict_config({"t": 6})
+        # true optimum at x = 0.6; sources bracket it at 0.4 and 0.8
+        assert abs(cfg["x"] - 0.6) < 0.15
+
+    def test_exact_task_match_returns_source_best(self, source_result):
+        prob, res = source_result
+        tla = TransferLearner(prob, res.data)
+        cfg = tla.predict_config({"t": 4})
+        assert cfg == res.best(1)[0]
+
+    def test_zero_evaluations_spent(self):
+        counter = {"n": 0}
+        prob_counting = quadratic_problem(counter)
+        res = GPTune(prob_counting, FAST).tune([{"t": 2}, {"t": 8}], 8)
+        spent = counter["n"]
+        tla = TransferLearner(prob_counting, res.data)
+        tla.predict_config({"t": 5})
+        assert counter["n"] == spent
+
+    def test_empty_source_rejected(self):
+        prob = quadratic_problem()
+        from repro.core import TuningData
+
+        empty = TuningData(prob.task_space, prob.tuning_space, [{"t": 1}])
+        with pytest.raises(ValueError):
+            TransferLearner(prob, empty)
+
+    def test_space_mismatch_rejected(self, source_result):
+        prob, res = source_result
+        other = TuningProblem(
+            prob.task_space,
+            Space([Real("z", 0.0, 1.0)]),
+            lambda t, c: 0.0,
+        )
+        with pytest.raises(ValueError):
+            TransferLearner(other, res.data)
+
+
+class TestTLAMLA:
+    def test_new_task_gets_full_budget_sources_frozen(self):
+        counter = {"n": 0}
+        prob = quadratic_problem(counter)
+        src = GPTune(prob, FAST).tune([{"t": 2}, {"t": 8}], 10)
+        spent = counter["n"]
+
+        tla = TransferLearner(prob, src.data)
+        res = tla.tune({"t": 5}, n_samples=6, options=FAST)
+        assert counter["n"] - spent == 6  # only the new task evaluated
+        new_idx = res.data.n_tasks - 1
+        assert res.data.n_samples(new_idx) == 6
+        # source data present but unchanged
+        for i in range(new_idx):
+            assert res.data.n_samples(i) == 10
+
+    def test_transfer_finds_new_optimum(self):
+        prob = quadratic_problem()
+        src = GPTune(prob, FAST).tune([{"t": 2}, {"t": 4}, {"t": 8}], 12)
+        res = TransferLearner(prob, src.data).tune({"t": 6}, 8, options=FAST)
+        cfg, val = res.best(res.data.n_tasks - 1)
+        assert abs(cfg["x"] - 0.6) < 0.12
+        assert val < 0.03
+
+    def test_max_source_tasks_pruning(self):
+        prob = quadratic_problem()
+        src = GPTune(prob, FAST).tune([{"t": 0}, {"t": 2}, {"t": 9}], 8)
+        res = TransferLearner(prob, src.data).tune(
+            {"t": 1}, 4, options=FAST, max_source_tasks=2
+        )
+        assert res.data.n_tasks == 3  # 2 nearest sources + the new task
+        kept = {t["t"] for t in res.data.tasks}
+        assert kept == {0, 2, 1}  # t=9 was pruned
+
+
+class TestFrozenPreloadDriver:
+    def test_frozen_without_data_rejected(self):
+        prob = quadratic_problem()
+        with pytest.raises(ValueError):
+            GPTune(prob, FAST).tune([{"t": 1}, {"t": 2}], 4, frozen=[0])
+
+    def test_all_frozen_rejected(self):
+        prob = quadratic_problem()
+        recs = [{"task": {"t": 1}, "x": {"x": 0.5}, "y": [0.2]}]
+        with pytest.raises(ValueError):
+            GPTune(prob, FAST).tune([{"t": 1}], 4, preload=recs, frozen=[0])
+
+    def test_frozen_index_validation(self):
+        prob = quadratic_problem()
+        with pytest.raises(ValueError):
+            GPTune(prob, FAST).tune([{"t": 1}], 4, frozen=[5])
+
+    def test_preload_counts_toward_budget(self):
+        counter = {"n": 0}
+        prob = quadratic_problem(counter)
+        recs = [
+            {"task": {"t": 1}, "x": {"x": 0.1 * i}, "y": [(0.1 * i - 0.1) ** 2 + 0.01]}
+            for i in range(5)
+        ]
+        res = GPTune(prob, FAST).tune([{"t": 1}], 8, preload=recs)
+        assert counter["n"] == 3  # 8 budget − 5 preloaded
+        assert res.data.n_samples(0) == 8

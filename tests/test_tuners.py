@@ -1,0 +1,213 @@
+"""Tests for the baseline tuners (OpenTuner-style, HpBandSter-style, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Integer, Options, Real, Space, TuningProblem
+from repro.tuners import (
+    GPTuneTuner,
+    GridSearchTuner,
+    HpBandSterTuner,
+    OpenTunerTuner,
+    RandomSearchTuner,
+    TuneRecord,
+)
+from repro.tuners.hpbandster import ProductKDE
+from repro.tuners.opentuner import (
+    DifferentialEvolutionTechnique,
+    GeneticAlgorithmTechnique,
+    NelderMeadTechnique,
+    PatternSearchTechnique,
+    SimulatedAnnealingTechnique,
+)
+
+
+def smooth_problem():
+    ts = Space([Integer("t", 0, 10)])
+    ps = Space([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)])
+    return TuningProblem(
+        ts,
+        ps,
+        lambda t, c: (c["x"] - 0.3) ** 2 + (c["y"] - 0.7) ** 2 + 0.001,
+        name="bowl",
+    )
+
+
+ALL_TUNERS = [
+    RandomSearchTuner(),
+    GridSearchTuner(),
+    OpenTunerTuner(),
+    HpBandSterTuner(),
+]
+
+
+class TestTuneRecord:
+    def test_best_and_trajectory(self):
+        r = TuneRecord({"t": 1})
+        for v in [5.0, 2.0, 7.0]:
+            r.add({"x": v}, v)
+        assert r.best()[1] == 2.0
+        assert r.trajectory().tolist() == [5.0, 2.0, 2.0]
+        assert len(r) == 3
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            TuneRecord({"t": 1}).best()
+
+    def test_objective_shape_check(self):
+        r = TuneRecord({"t": 1}, n_objectives=2)
+        with pytest.raises(ValueError):
+            r.add({"x": 1}, 1.0)
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("tuner", ALL_TUNERS, ids=lambda t: t.name)
+    def test_exact_budget(self, tuner):
+        rec = tuner.tune(smooth_problem(), {"t": 1}, 17, seed=0)
+        assert len(rec) == 17
+
+    @pytest.mark.parametrize("tuner", ALL_TUNERS, ids=lambda t: t.name)
+    def test_reproducible(self, tuner):
+        a = tuner.tune(smooth_problem(), {"t": 1}, 10, seed=3).best()[1]
+        b = tuner.tune(smooth_problem(), {"t": 1}, 10, seed=3).best()[1]
+        assert a == b
+
+    @pytest.mark.parametrize("tuner", ALL_TUNERS, ids=lambda t: t.name)
+    def test_beats_worst_case(self, tuner):
+        """Every tuner finds something decent on a smooth bowl in 30 evals."""
+        rec = tuner.tune(smooth_problem(), {"t": 1}, 30, seed=0)
+        assert rec.best()[1] < 0.3
+
+    def test_constraints_respected(self):
+        ts = Space([Integer("t", 0, 10)])
+        ps = Space([Integer("p", 1, 16), Integer("q", 1, 16)], constraints=["q <= p"])
+        prob = TuningProblem(ts, ps, lambda t, c: c["p"] / c["q"], name="c")
+        for tuner in ALL_TUNERS:
+            rec = tuner.tune(prob, {"t": 1}, 12, seed=1)
+            assert all(c["q"] <= c["p"] for c in rec.configs)
+
+
+class TestOpenTunerEnsemble:
+    def test_all_arms_get_played(self):
+        tuner = OpenTunerTuner()
+        rec = tuner.tune(smooth_problem(), {"t": 1}, 12, seed=0)
+        assert len(rec) == 12  # ≥ number of techniques, each played once
+
+    def test_single_technique_subset(self):
+        tuner = OpenTunerTuner(techniques=[GeneticAlgorithmTechnique])
+        rec = tuner.tune(smooth_problem(), {"t": 1}, 15, seed=0)
+        assert rec.best()[1] < 0.5
+
+    def test_empty_techniques_rejected(self):
+        with pytest.raises(ValueError):
+            OpenTunerTuner(techniques=[])
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            GeneticAlgorithmTechnique,
+            DifferentialEvolutionTechnique,
+            SimulatedAnnealingTechnique,
+            NelderMeadTechnique,
+            PatternSearchTechnique,
+        ],
+    )
+    def test_each_technique_solo_improves_over_start(self, cls):
+        prob = smooth_problem()
+        space, task = prob.tuning_space, {"t": 1}
+        tech = cls(space, task, np.random.default_rng(0))
+        best = np.inf
+        first = None
+        for _ in range(25):
+            cfg = tech.ask()
+            val = prob.evaluate(task, cfg)[0]
+            tech.tell(cfg, val, mine=True)
+            best = min(best, val)
+            first = val if first is None else first
+        assert best <= first
+        assert best < 0.6
+
+
+class TestTPE:
+    def test_kde_pdf_positive_and_normalized_shape(self, rng):
+        data = rng.random((20, 2))
+        kde = ProductKDE(data)
+        q = rng.random((10, 2))
+        p = kde.pdf(q)
+        assert p.shape == (10,) and np.all(p > 0)
+
+    def test_kde_peaks_at_data(self, rng):
+        data = np.full((10, 1), 0.5) + 0.01 * rng.normal(size=(10, 1))
+        kde = ProductKDE(data)
+        assert kde.pdf(np.array([[0.5]]))[0] > kde.pdf(np.array([[0.05]]))[0]
+
+    def test_kde_sampling_stays_in_cube(self, rng):
+        data = rng.random((15, 3))
+        s = ProductKDE(data).sample(200, rng)
+        assert s.shape == (200, 3)
+        assert np.all((0 <= s) & (s <= 1))
+
+    def test_kde_categorical_kernel(self, rng):
+        # one categorical dim with 3 choices, all data in category 0
+        data = np.full((10, 1), 1.0 / 6.0)  # centre of cell 0
+        kde = ProductKDE(data, categorical_mask=np.array([True]), cardinalities=np.array([3.0]))
+        p_same = kde.pdf(np.array([[1.0 / 6.0]]))[0]
+        p_other = kde.pdf(np.array([[5.0 / 6.0]]))[0]
+        assert p_same > p_other
+
+    def test_kde_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProductKDE(np.empty((0, 2)))
+
+    def test_tpe_validation(self):
+        with pytest.raises(ValueError):
+            HpBandSterTuner(gamma=1.5)
+
+    def test_tpe_model_phase_reached(self):
+        """After min_points the tuner must use the KDE path without error."""
+        tuner = HpBandSterTuner(min_points=4, random_fraction=0.0)
+        rec = tuner.tune(smooth_problem(), {"t": 1}, 20, seed=0)
+        assert len(rec) == 20
+
+
+class TestGPTuneAdapter:
+    def test_single_task_mode(self):
+        opts = Options(seed=0, n_start=1, pso_iters=5, ei_candidates=10)
+        rec = GPTuneTuner(opts).tune(smooth_problem(), {"t": 1}, 8, seed=0)
+        assert len(rec) == 8
+
+    def test_multitask_mode_reports_requested_task(self):
+        opts = Options(seed=0, n_start=1, pso_iters=5, ei_candidates=10)
+        tuner = GPTuneTuner(opts, tasks=[{"t": 2}, {"t": 8}])
+        rec = tuner.tune(smooth_problem(), {"t": 2}, 6, seed=0)
+        assert rec.task == {"t": 2}
+        assert len(rec) == 6
+
+
+class TestPSOTechnique:
+    def test_solo_improves(self):
+        from repro.tuners.opentuner import PSOTechnique
+
+        prob = smooth_problem()
+        tech = PSOTechnique(prob.tuning_space, {"t": 1}, np.random.default_rng(0),
+                            swarm_size=4)
+        best = np.inf
+        for _ in range(30):
+            cfg = tech.ask()
+            val = prob.evaluate({"t": 1}, cfg)[0]
+            tech.tell(cfg, val, mine=True)
+            best = min(best, val)
+        assert best < 0.3
+
+    def test_in_default_ensemble(self):
+        from repro.tuners.opentuner import DEFAULT_TECHNIQUES, PSOTechnique
+
+        assert PSOTechnique in DEFAULT_TECHNIQUES
+
+    def test_absorbs_foreign_results(self):
+        from repro.tuners.opentuner import PSOTechnique
+
+        prob = smooth_problem()
+        tech = PSOTechnique(prob.tuning_space, {"t": 1}, np.random.default_rng(1))
+        tech.tell({"x": 0.3, "y": 0.7}, 0.001, mine=False)
+        assert tech.gbest_f == 0.001
