@@ -6,17 +6,22 @@ artifact appendix's "run one script, read Popt/Oopt" experience::
     python -m repro.cli list-apps
     python -m repro.cli tune --app analytical --tasks 0,2,4 --samples 20
     python -m repro.cli tune --app pdgeqrf --nodes 4 --samples 10 --seed 1
+    python -m repro.cli tune --app hypre --samples 16 --checkpoint run.ck.json
+    python -m repro.cli tune --app hypre --checkpoint run.ck.json --resume
     python -m repro.cli compare --app superlu_dist --samples 12
     python -m repro.cli sensitivity --app hypre --samples 16
 
 ``tune`` prints the optimal configuration ("Popt") and objective ("Oopt")
-per task plus the Tab. 3-style phase breakdown ("stats:").
+per task plus the Tab. 3-style phase breakdown ("stats:").  With
+``--checkpoint`` a resumable snapshot is written after every batch; a killed
+campaign continues exactly where it stopped with ``--resume``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -83,9 +88,35 @@ def _cmd_list_apps(_args) -> int:
 
 def _cmd_tune(args) -> int:
     app = build_app(args.app, args.nodes, args.seed)
-    tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
-    opts = Options(seed=args.seed, n_start=args.n_start, verbose=args.verbose)
-    result = GPTune(app.problem(with_models=args.models), opts).tune(tasks, args.samples)
+    try:
+        opts = Options(
+            seed=args.seed,
+            n_start=args.n_start,
+            verbose=args.verbose,
+            checkpoint_path=args.checkpoint,
+            retry_attempts=args.retries,
+            eval_timeout=args.eval_timeout,
+        )
+    except ValueError as e:
+        raise SystemExit(str(e))
+    problem = app.problem(with_models=args.models)
+    if args.failure_value is not None:
+        problem.failure_value = np.full(problem.n_objectives, float(args.failure_value))
+    tuner = GPTune(problem, opts)
+    if args.resume:
+        if not args.checkpoint:
+            raise SystemExit("--resume requires --checkpoint PATH")
+        if not os.path.exists(args.checkpoint):
+            raise SystemExit(f"checkpoint {args.checkpoint!r} not found")
+        try:
+            result = tuner.resume(args.checkpoint)
+        except ValueError as e:
+            raise SystemExit(str(e))
+        tasks = result.data.tasks
+        print(f"resumed from {args.checkpoint}; campaign now has {len(result.data)} evaluations")
+    else:
+        tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
+        result = tuner.tune(tasks, args.samples)
     for i, t in enumerate(tasks):
         cfg, val = result.best(i)
         print(f"task {json.dumps(t)}")
@@ -96,6 +127,10 @@ def _cmd_tune(args) -> int:
         f"stats: total {s['total_time']:.4g}  objective {s['objective_time']:.4g}  "
         f"modeling {s['modeling_time']:.4g}  search {s['search_time']:.4g}"
     )
+    counts = result.events.counts()
+    notable = {k: v for k, v in counts.items() if k != "checkpoint"}
+    if notable:
+        print("events: " + "  ".join(f"{k} {v}" for k, v in sorted(notable.items())))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(result.data.to_records(), fh, indent=2)
@@ -169,6 +204,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_tune.add_argument("--models", action="store_true", help="attach coarse performance models")
     p_tune.add_argument("--verbose", action="store_true")
     p_tune.add_argument("--output", help="archive evaluations to a JSON file")
+    p_tune.add_argument(
+        "--checkpoint", help="write a resumable campaign checkpoint to this path"
+    )
+    p_tune.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed campaign from --checkpoint "
+             "(tasks and --samples come from the checkpoint)",
+    )
+    p_tune.add_argument(
+        "--retries", type=int, default=1,
+        help="attempts per evaluation (crashes/NaN/timeouts are retried)",
+    )
+    p_tune.add_argument(
+        "--eval-timeout", type=float,
+        help="per-evaluation timeout in seconds",
+    )
+    p_tune.add_argument(
+        "--failure-value", type=float,
+        help="penalty objective value recorded when an evaluation still "
+             "fails after --retries attempts (default: abort the run)",
+    )
 
     p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")
     common(p_cmp)

@@ -13,7 +13,14 @@ from .metrics import (
     stability,
     win_task,
 )
-from .mla import GPTune, TuneResult
+from ..runtime.resilience import (
+    EvalOutcome,
+    EvalTimeoutError,
+    FatalEvaluationError,
+    RetryPolicy,
+    RunCheckpoint,
+)
+from .mla import GPTune, IndependentGPs, TuneResult
 from .options import Options
 from .params import Categorical, Integer, Parameter, Real
 from .perfmodel import (
@@ -35,9 +42,13 @@ __all__ = [
     "CallableModel",
     "Constraint",
     "EIAcquisition",
+    "EvalOutcome",
+    "EvalTimeoutError",
+    "FatalEvaluationError",
     "GaussianProcess",
     "GPTune",
     "HistoryDB",
+    "IndependentGPs",
     "Integer",
     "LCM",
     "LCMParams",
@@ -51,6 +62,8 @@ __all__ = [
     "PerformanceModel",
     "RandomSampler",
     "Real",
+    "RetryPolicy",
+    "RunCheckpoint",
     "Space",
     "TransferLearner",
     "TuneResult",

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Any, Dict, List, Mapping, Sequence
+
+from ..runtime.resilience import atomic_write_json
 
 __all__ = ["HistoryDB"]
 
@@ -31,7 +32,10 @@ class HistoryDB:
     ----------
     path:
         File path; created on first save.  The file is written atomically
-        (temp file + rename) so a crash cannot corrupt the archive.
+        (temp file + rename) so a crash cannot corrupt the archive.  A
+        truncated/corrupted file found at load time raises a ``ValueError``
+        naming the path, after preserving the bad bytes in a ``.corrupt``
+        sidecar for post-mortem.
     """
 
     def __init__(self, path: str):
@@ -39,7 +43,17 @@ class HistoryDB:
         self._store: Dict[str, List[Dict[str, Any]]] = {}
         if os.path.exists(self.path):
             with open(self.path, "r", encoding="utf-8") as fh:
-                raw = json.load(fh)
+                text = fh.read()
+            try:
+                raw = json.loads(text)
+            except json.JSONDecodeError as e:
+                backup = self.path + ".corrupt"
+                with open(backup, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                raise ValueError(
+                    f"{self.path}: corrupted history database ({e}); "
+                    f"bad file preserved at {backup}"
+                ) from e
             if not isinstance(raw, dict):
                 raise ValueError(f"{self.path}: malformed history database")
             self._store = {str(k): list(v) for k, v in raw.items()}
@@ -73,14 +87,4 @@ class HistoryDB:
         self._flush()
 
     def _flush(self) -> None:
-        d = os.path.dirname(os.path.abspath(self.path)) or "."
-        os.makedirs(d, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(self._store, fh)
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_json(self.path, self._store)

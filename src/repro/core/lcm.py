@@ -136,6 +136,13 @@ class LCM:
         self._alpha: Optional[np.ndarray] = None
         self.log_likelihood_: float = -np.inf
 
+    def __getstate__(self):
+        # Executors hold process-local pools (locks, pipes) that cannot cross
+        # a pickle boundary; a worker-side copy runs its restarts inline.
+        state = self.__dict__.copy()
+        state["executor"] = None
+        return state
+
     # -- covariance assembly ------------------------------------------------
     def _covariance(
         self, theta: np.ndarray, sqd: np.ndarray, tidx: np.ndarray

@@ -17,6 +17,14 @@
 Phases 2–3 repeat until the per-task budget ``ε_tot`` is exhausted.  The
 returned :class:`TuneResult` carries all data, the best configurations, and
 the phase-time breakdown reported in Table 3 of the paper.
+
+The driver is built for flaky production campaigns (see
+:mod:`repro.runtime.resilience`): objective calls run under a retry policy,
+a resumable checkpoint can be written after every batch
+(:meth:`GPTune.resume` continues a killed run with identical decisions), and
+a failed LCM fit degrades to independent per-task GPs and then to random
+search instead of aborting.  Every resilience action is recorded in a
+:class:`~repro.runtime.trace.CampaignLog` exposed as ``TuneResult.events``.
 """
 
 from __future__ import annotations
@@ -26,8 +34,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime.resilience import RetryPolicy, RunCheckpoint
+from ..runtime.trace import CampaignLog
 from .acquisition import EIAcquisition
 from .data import TuningData
+from .gp import GaussianProcess
 from .history import HistoryDB
 from .lcm import LCM
 from .options import Options
@@ -37,7 +48,7 @@ from .sampling import LHSSampler, sample_feasible
 from .search.nsga2 import NSGA2, crowding_distance
 from .search.pso import ParticleSwarm
 
-__all__ = ["GPTune", "TuneResult"]
+__all__ = ["GPTune", "IndependentGPs", "TuneResult"]
 
 
 class TuneResult:
@@ -55,13 +66,25 @@ class TuneResult:
         ``search_time`` real seconds in those phases, ``total_time`` their
         sum with ``objective_time``.
     models:
-        The fitted LCM(s) of the final iteration, one per objective.
+        The fitted surrogate(s) of the final iteration, one per objective:
+        an :class:`~repro.core.lcm.LCM`, an :class:`IndependentGPs` fallback,
+        or ``None`` after a full downgrade to random search.
+    events:
+        The :class:`~repro.runtime.trace.CampaignLog` of resilience events
+        (retries, timeouts, model downgrades, checkpoints) from the run.
     """
 
-    def __init__(self, data: TuningData, stats: Dict[str, float], models: List[LCM]):
+    def __init__(
+        self,
+        data: TuningData,
+        stats: Dict[str, float],
+        models: List[LCM],
+        events: Optional[CampaignLog] = None,
+    ):
         self.data = data
         self.stats = dict(stats)
         self.models = models
+        self.events = events if events is not None else CampaignLog()
 
     def best(self, task: int, objective: int = 0) -> Tuple[Dict[str, Any], float]:
         """Best configuration and value for one task (single objective)."""
@@ -83,15 +106,44 @@ class TuneResult:
 
 
 class _BatchEval:
-    """Picklable evaluation closure for executor-mapped batch evaluation."""
+    """Picklable evaluation closure for executor-mapped batch evaluation.
 
-    def __init__(self, problem: TuningProblem, tasks: List[Mapping[str, Any]]):
+    Returns the full :class:`~repro.runtime.resilience.EvalOutcome` so retry
+    and failure events that happened inside a worker process can be replayed
+    into the driver's campaign log.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        tasks: List[Mapping[str, Any]],
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.problem = problem
         self.tasks = tasks
+        self.retry = retry
 
     def __call__(self, item):
         idx, cfg = item
-        return self.problem.evaluate(self.tasks[idx], cfg)
+        return self.problem.evaluate_outcome(self.tasks[idx], cfg, retry=self.retry)
+
+
+class IndependentGPs:
+    """Degraded surrogate: one independent GP per task (no task coupling).
+
+    Presents the same ``predict(task, Xstar)`` interface as the LCM so the
+    acquisition search runs unchanged when the multitask fit breaks down.
+    """
+
+    def __init__(self, gps: List[Optional[GaussianProcess]]):
+        self.gps = gps
+
+    def predict(self, task: int, Xstar: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance from the task's own GP."""
+        gp = self.gps[int(task)]
+        if gp is None:
+            raise RuntimeError(f"task {task} has no fitted fallback surrogate")
+        return gp.predict(Xstar)
 
 
 class _YTransform:
@@ -136,8 +188,17 @@ class GPTune:
         self.problem = problem
         self.options = options or Options()
         self.history = history
+        self.events = CampaignLog()
         self._seeds = np.random.SeedSequence(self.options.seed)
         self._executor = None
+        self._retry = RetryPolicy(
+            max_attempts=self.options.retry_attempts,
+            timeout=self.options.eval_timeout,
+            backoff=self.options.retry_backoff,
+            backoff_factor=self.options.retry_backoff_factor,
+            jitter=self.options.retry_jitter,
+            seed=self.options.seed,
+        )
 
     # -- internals ---------------------------------------------------------
     def _child_seed(self) -> int:
@@ -149,13 +210,24 @@ class GPTune:
         if self._executor is None:
             from ..runtime.executor import make_executor
 
-            self._executor = make_executor(self.options.backend, self.options.n_workers)
+            self._executor = make_executor(
+                self.options.backend, self.options.n_workers, on_event=self.events.record
+            )
         return self._executor
 
     def _evaluate(self, data: TuningData, task: int, cfg: Mapping[str, Any], stats) -> None:
-        t0 = time.perf_counter()
-        y = self.problem.evaluate(data.tasks[task], cfg)
-        stats["objective_wall_time"] += time.perf_counter() - t0
+        outcome = self.problem.evaluate_outcome(data.tasks[task], cfg, retry=self._retry)
+        self._record(data, task, cfg, outcome, stats)
+
+    def _record(self, data: TuningData, task: int, cfg, outcome, stats) -> None:
+        """Absorb one evaluation outcome: log, stats, data, history."""
+        for kind, detail in outcome.events:
+            self.events.record(kind, detail)
+        stats["objective_wall_time"] += outcome.wall_time
+        stats["n_retries"] += outcome.attempts - 1
+        if outcome.failed:
+            stats["n_eval_failures"] += 1
+        y = outcome.value
         stats["objective_time"] += float(y[0])
         data.add(task, cfg, y)
         if self.history is not None:
@@ -163,6 +235,28 @@ class GPTune:
                 self.problem.name,
                 [{"task": data.tasks[task], "x": data.X[task][-1], "y": [float(v) for v in y]}],
             )
+
+    def _checkpoint(
+        self, data: TuningData, n_samples: int, frozen: Sequence[int], iteration: int, stats
+    ) -> None:
+        """Write the resumable campaign snapshot (if configured)."""
+        path = self.options.checkpoint_path
+        if path is None or iteration % self.options.checkpoint_every != 0:
+            return
+        ck = RunCheckpoint(
+            problem=self.problem.name,
+            entropy=self._seeds.entropy,
+            spawn_count=int(self._seeds.n_children_spawned),
+            n_samples=int(n_samples),
+            tasks=[dict(t) for t in data.tasks],
+            frozen=sorted(int(i) for i in frozen),
+            iteration=int(iteration),
+            stats={k: float(v) for k, v in stats.items()},
+            X=[[dict(x) for x in xs] for xs in data.X],
+            Y=[[[float(v) for v in y] for y in ys] for ys in data.Y],
+        )
+        ck.save(path)
+        self.events.record("checkpoint", f"iteration {iteration} -> {path}")
 
     def _seen_keys(self, data: TuningData, task: int) -> set:
         return {tuple(np.round(data.tuning_space.normalize(x), 9)) for x in data.X[task]}
@@ -175,6 +269,7 @@ class GPTune:
         preload: Optional[Sequence[Mapping[str, Any]]] = None,
         frozen: Optional[Sequence[int]] = None,
         callback: Optional[Any] = None,
+        _resume: Optional[RunCheckpoint] = None,
     ) -> TuneResult:
         """Run MLA over the given tasks with per-task budget ``ε_tot``.
 
@@ -197,6 +292,9 @@ class GPTune:
             Optional ``callback(iteration, data, stats) -> bool`` invoked
             after every MLA iteration; returning True stops tuning early
             (anytime usage).  ``options.max_seconds`` adds a wall-clock cap.
+        _resume:
+            Internal — a :class:`~repro.runtime.resilience.RunCheckpoint` to
+            continue from; use :meth:`resume`.
 
         Returns
         -------
@@ -204,6 +302,18 @@ class GPTune:
         """
         if n_samples < 2:
             raise ValueError("need n_samples >= 2 (initial design + BO)")
+        if _resume is not None:
+            # Validate before touching the checkpoint's tasks: coercing them
+            # through the wrong problem's task space fails confusingly.
+            if _resume.problem != self.problem.name:
+                raise ValueError(
+                    f"checkpoint is for problem {_resume.problem!r}, "
+                    f"not {self.problem.name!r}"
+                )
+            if int(_resume.n_samples) != int(n_samples):
+                raise ValueError(
+                    f"checkpoint budget {_resume.n_samples} != requested {n_samples}"
+                )
         gamma = self.problem.n_objectives
         data = TuningData(
             self.problem.task_space, self.problem.tuning_space, tasks, n_objectives=gamma
@@ -219,37 +329,61 @@ class GPTune:
             "objective_wall_time": 0.0,
             "modeling_time": 0.0,
             "search_time": 0.0,
+            "n_retries": 0.0,
+            "n_eval_failures": 0.0,
         }
 
-        # archived data counts toward the budget for free (reuse goal)
-        if self.history is not None:
-            data.load_records(self.history.records(self.problem.name))
-        if preload is not None:
-            data.load_records(preload)
+        if _resume is not None:
+            # Restore the exact campaign state: evaluation sets, phase stats,
+            # and the seed tree fast-forwarded past every child already spawned,
+            # so the continuation takes the same decisions the uninterrupted
+            # run would have.
+            self._seeds = np.random.SeedSequence(_resume.entropy)
+            if _resume.spawn_count > 0:
+                self._seeds.spawn(int(_resume.spawn_count))
+            for i, (xs, ys) in enumerate(zip(_resume.X, _resume.Y)):
+                for x, y in zip(xs, ys):
+                    data.add(i, x, y)
+            for k, v in _resume.stats.items():
+                if k in stats:
+                    stats[k] = float(v)
+            self.events.record(
+                "resume",
+                f"iteration {_resume.iteration}, {data.n_samples()} evaluation(s) restored",
+            )
+        else:
+            # archived data counts toward the budget for free (reuse goal)
+            if self.history is not None:
+                data.load_records(self.history.records(self.problem.name))
+            if preload is not None:
+                data.load_records(preload)
         for i in frozen_set:
             if data.n_samples(i) == 0:
                 raise ValueError(f"frozen task {i} has no preloaded data")
 
         # -- sampling phase ------------------------------------------------
         eps_init = max(2, int(round(n_samples * self.options.initial_fraction)))
-        sampler = LHSSampler(self.problem.tuning_space, seed=self._child_seed())
-        for i in active:
-            need = eps_init - data.n_samples(i)
-            if need <= 0:
-                continue
-            for cfg in sampler.sample(need, extra=data.tasks[i]):
-                self._evaluate(data, i, cfg, stats)
+        if any(eps_init - data.n_samples(i) > 0 for i in active):
+            sampler = LHSSampler(self.problem.tuning_space, seed=self._child_seed())
+            for i in active:
+                need = eps_init - data.n_samples(i)
+                if need <= 0:
+                    continue
+                for cfg in sampler.sample(need, extra=data.tasks[i]):
+                    self._evaluate(data, i, cfg, stats)
 
         # -- MLA iterations ----------------------------------------------------
         models: List[LCM] = []
         t_begin = time.perf_counter()
-        iteration = 0
+        iteration = int(_resume.iteration) if _resume is not None else 0
+        self._checkpoint(data, n_samples, frozen_set, iteration, stats)
         while min(data.n_samples(i) for i in active) < n_samples:
             if gamma == 1:
                 models = self._iteration_single(data, stats, active)
             else:
                 models = self._iteration_multi(data, stats, active)
             iteration += 1
+            self._checkpoint(data, n_samples, frozen_set, iteration, stats)
             if self.options.verbose:  # pragma: no cover - logging
                 done = [data.n_samples(i) for i in range(data.n_tasks)]
                 best = [f"{data.best(i)[1]:.4g}" for i in range(data.n_tasks)]
@@ -265,7 +399,41 @@ class GPTune:
         stats["total_time"] = (
             stats["objective_time"] + stats["modeling_time"] + stats["search_time"]
         )
-        return TuneResult(data, stats, models)
+        return TuneResult(data, stats, models, events=self.events)
+
+    def resume(
+        self,
+        checkpoint: Any,
+        callback: Optional[Any] = None,
+    ) -> TuneResult:
+        """Continue a killed campaign from a checkpoint.
+
+        Parameters
+        ----------
+        checkpoint:
+            A :class:`~repro.runtime.resilience.RunCheckpoint` or the path of
+            one written by a run with ``options.checkpoint_path`` set.
+        callback:
+            Same contract as in :meth:`tune` (callbacks are not serialized,
+            so pass it again here).
+
+        The resumed run restores the evaluation sets, iteration counter, and
+        RNG state, then continues to the original budget.  Together with a
+        fixed ``options.seed`` this reproduces exactly the evaluations the
+        uninterrupted run would have made.
+        """
+        ck = (
+            checkpoint
+            if isinstance(checkpoint, RunCheckpoint)
+            else RunCheckpoint.load(str(checkpoint))
+        )
+        return self.tune(
+            ck.tasks,
+            ck.n_samples,
+            frozen=ck.frozen or None,
+            callback=callback,
+            _resume=ck,
+        )
 
     # -- single-objective iteration (Algorithm 1) ------------------------------
     def _fit_models(
@@ -293,18 +461,7 @@ class GPTune:
             _, ys, _ = data.stacked(s)
             tr = _YTransform(self.options.y_transform)
             yt = tr.fit(ys)
-            lcm = LCM(
-                n_tasks=data.n_tasks,
-                n_dims=X.shape[1],
-                n_latent=self.options.n_latent,
-                jitter=self.options.jitter,
-                n_start=self.options.n_start,
-                maxiter=self.options.lbfgs_maxiter,
-                seed=self._child_seed(),
-                executor=executor,
-            )
-            lcm.fit(X, yt, tidx)
-            models.append(lcm)
+            models.append(self._fit_surrogate(data, X, yt, tidx, executor, s))
             transforms.append(tr)
             # per-task incumbents in transformed units
             ybests.append(
@@ -314,6 +471,64 @@ class GPTune:
             )
         stats["modeling_time"] += time.perf_counter() - t0
         return models, transforms, ybests
+
+    def _fit_surrogate(self, data: TuningData, X, yt, tidx, executor, objective: int):
+        """Fit the LCM, degrading gracefully when the fit breaks down.
+
+        The ladder is LCM → independent per-task GPs → ``None`` (random
+        search); each downgrade emits a ``"model-downgrade"`` event.  With
+        ``options.model_fallback`` off, failures propagate as before.
+        """
+        lcm = LCM(
+            n_tasks=data.n_tasks,
+            n_dims=X.shape[1],
+            n_latent=self.options.n_latent,
+            jitter=self.options.jitter,
+            n_start=self.options.n_start,
+            maxiter=self.options.lbfgs_maxiter,
+            seed=self._child_seed(),
+            executor=executor,
+        )
+        try:
+            lcm.fit(X, yt, tidx)
+        except Exception as e:
+            if not self.options.model_fallback:
+                raise
+            reason = f"{type(e).__name__}: {e}"
+        else:
+            # a "fit" whose every multi-start diverged (NLL stuck at the
+            # Cholesky-failure sentinel) is as useless as a crashed one
+            if np.isfinite(lcm.log_likelihood_) and lcm.log_likelihood_ > -1e24:
+                return lcm
+            if not self.options.model_fallback:
+                raise RuntimeError("LCM fit diverged and model_fallback is disabled")
+            reason = "all multi-starts diverged"
+        self.events.record(
+            "model-downgrade", f"objective {objective}: lcm -> per-task gp ({reason})"
+        )
+        try:
+            gps: List[Optional[GaussianProcess]] = []
+            for i in range(data.n_tasks):
+                rows = tidx == i
+                if not np.any(rows):
+                    gps.append(None)
+                    continue
+                gp = GaussianProcess(
+                    jitter=self.options.jitter,
+                    n_start=self.options.n_start,
+                    maxiter=self.options.lbfgs_maxiter,
+                    seed=self._child_seed(),
+                )
+                gp.fit(X[rows], yt[rows])
+                gps.append(gp)
+            return IndependentGPs(gps)
+        except Exception as e:
+            self.events.record(
+                "model-downgrade",
+                f"objective {objective}: per-task gp -> random search "
+                f"({type(e).__name__}: {e})",
+            )
+            return None
 
     def _predict_unit(
         self,
@@ -342,6 +557,13 @@ class GPTune:
         featurizer = ModelFeaturizer(self.problem.models) if self.problem.has_models else None
         models, _, ybests = self._fit_models(data, stats, featurizer)
         lcm = models[0]
+        if lcm is None:  # fully degraded: random search keeps the budget moving
+            self._evaluate_batch(
+                data,
+                self._random_proposals(data, active, self.options.batch_evals, stats),
+                stats,
+            )
+            return models
 
         t0 = time.perf_counter()
         proposals: List[Tuple[int, Dict[str, Any]]] = []
@@ -372,6 +594,21 @@ class GPTune:
         self._evaluate_batch(data, proposals, stats)
         return models
 
+    def _random_proposals(
+        self, data: TuningData, active: Optional[Sequence[int]], per_task: int, stats
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Random-search proposals — the last rung of the degradation ladder."""
+        t0 = time.perf_counter()
+        rng = np.random.default_rng(self._child_seed())
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i in active if active is not None else range(data.n_tasks):
+            for cand in sample_feasible(
+                data.tuning_space, per_task, rng, extra=data.tasks[i]
+            ):
+                proposals.append((i, self._dedup(data, i, cand)))
+        stats["search_time"] += time.perf_counter() - t0
+        return proposals
+
     def _evaluate_batch(self, data: TuningData, proposals, stats) -> None:
         """Evaluate proposals, concurrently when an executor is configured.
 
@@ -384,20 +621,12 @@ class GPTune:
             for i, cfg in proposals:
                 self._evaluate(data, i, cfg, stats)
             return
-        t0 = time.perf_counter()
-        ys = executor.map(
-            _BatchEval(self.problem, [data.tasks[i] for i, _ in proposals]),
+        outcomes = executor.map(
+            _BatchEval(self.problem, [data.tasks[i] for i, _ in proposals], self._retry),
             list(enumerate(cfg for _, cfg in proposals)),
         )
-        stats["objective_wall_time"] += time.perf_counter() - t0
-        for (i, cfg), y in zip(proposals, ys):
-            stats["objective_time"] += float(y[0])
-            data.add(i, cfg, y)
-            if self.history is not None:
-                self.history.append(
-                    self.problem.name,
-                    [{"task": data.tasks[i], "x": data.X[i][-1], "y": [float(v) for v in y]}],
-                )
+        for (i, cfg), outcome in zip(proposals, outcomes):
+            self._record(data, i, cfg, outcome, stats)
 
     def _dedup(self, data: TuningData, task: int, cfg: Dict[str, Any]) -> Dict[str, Any]:
         """Replace an already-evaluated proposal with a fresh feasible point."""
@@ -422,6 +651,10 @@ class GPTune:
         models, _, _ = self._fit_models(data, stats, featurizer)
         gamma = data.n_objectives
         k = self.options.pareto_batch
+        if any(m is None for m in models):  # fully degraded on some objective
+            for i, cfg in self._random_proposals(data, active, k, stats):
+                self._evaluate(data, i, cfg, stats)
+            return models
 
         t0 = time.perf_counter()
         proposals: List[Tuple[int, Dict[str, Any]]] = []

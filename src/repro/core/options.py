@@ -64,6 +64,33 @@ class Options:
         call; iteration stops once exceeded (the *anytime* usage mode —
         "the best performance so-far when tuning is terminated early",
         Sec. 1).  The evaluation budget ``ε_tot`` still caps the run.
+    retry_attempts:
+        Attempts per objective evaluation (1 = no retry).  Crashes, NaN/inf
+        results and timeouts are retried before the failure penalty applies
+        (see :mod:`repro.runtime.resilience`).
+    retry_backoff:
+        Base delay in seconds before the first retry (0 = immediate).
+    retry_backoff_factor:
+        Exponential growth factor of the retry delay.
+    retry_jitter:
+        Fractional deterministic jitter added to each delay (seeded from
+        ``seed``, so replayed campaigns sleep the same schedule).
+    eval_timeout:
+        Per-attempt wall-clock cap in seconds for one objective evaluation;
+        a hung objective counts as a retryable ``"timeout"`` failure.
+    checkpoint_path:
+        When set, a resumable :class:`~repro.runtime.resilience.RunCheckpoint`
+        is written (atomically) to this path after the sampling phase and
+        after each MLA iteration; a killed campaign continues exactly where
+        it stopped via :meth:`~repro.core.mla.GPTune.resume`.
+    checkpoint_every:
+        Write the checkpoint every k-th iteration (the post-sampling snapshot
+        is always written).
+    model_fallback:
+        Degrade gracefully when the LCM fit fails (Cholesky breakdown, all
+        multi-starts diverging): fall back to independent per-task GPs, then
+        to random search, recording a ``"model-downgrade"`` event per step.
+        When False, a failed fit aborts the run as before.
     verbose:
         Print per-iteration progress.
     """
@@ -85,6 +112,14 @@ class Options:
     seed: Optional[int] = None
     model_restarts_parallel: bool = True
     max_seconds: Optional[float] = None
+    retry_attempts: int = 1
+    retry_backoff: float = 0.0
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.0
+    eval_timeout: Optional[float] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    model_fallback: bool = True
     verbose: bool = False
 
     def __post_init__(self) -> None:
@@ -104,6 +139,18 @@ class Options:
             raise ValueError("batch_evals must be >= 1")
         if self.max_seconds is not None and self.max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.retry_backoff_factor < 1:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
+        if self.eval_timeout is not None and self.eval_timeout <= 0:
+            raise ValueError("eval_timeout must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
     def replace(self, **kw) -> "Options":
         """Return a copy with the given fields overridden."""

@@ -15,6 +15,13 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.resilience import (
+    EvalOutcome,
+    EvalTimeoutError,
+    FatalEvaluationError,
+    RetryPolicy,
+    run_with_retries,
+)
 from .space import Space
 
 __all__ = ["TuningProblem"]
@@ -94,32 +101,57 @@ class TuningProblem:
         self.n_failures = 0
 
     # -- evaluation -----------------------------------------------------
-    def evaluate(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> np.ndarray:
-        """Run the black box once; returns a ``(γ,)`` float vector.
+    def evaluate_outcome(
+        self,
+        task: Mapping[str, Any],
+        config: Mapping[str, Any],
+        retry: Optional[RetryPolicy] = None,
+    ) -> EvalOutcome:
+        """Run the black box under a retry policy; returns the full record.
+
+        Every objective call is routed through
+        :func:`repro.runtime.resilience.run_with_retries`: crashes, NaN/inf
+        results and timeouts are retried up to ``retry.max_attempts`` with the
+        policy's deterministic backoff.  When all attempts fail, the outcome's
+        value becomes :attr:`failure_value` (and ``n_failures`` increments) —
+        or, with no failure value configured, the last error is re-raised.
 
         The configuration is round-tripped through the tuning space first so
         integers/categoricals are exactly representable, matching what the
-        surrogate saw.
+        surrogate saw.  A wrong-shaped objective result is a programming
+        error and raises immediately, never retried or penalized.
         """
         t = self.task_space.to_dict(task)
         x = self.tuning_space.round_trip(config)
-        try:
-            y = np.atleast_1d(np.asarray(self.objective(t, x), dtype=float))
-        except Exception:
+        objective, n_obj = self.objective, self.n_objectives
+
+        def call() -> np.ndarray:
+            y = np.atleast_1d(np.asarray(objective(t, x), dtype=float))
+            if y.shape != (n_obj,):
+                raise FatalEvaluationError(
+                    f"objective returned shape {y.shape}, expected ({n_obj},)"
+                )
+            return y
+
+        outcome = run_with_retries(call, retry)
+        if outcome.failed:
             if self.failure_value is None:
-                raise
+                if outcome.error is not None:
+                    raise outcome.error
+                if outcome.failure_kind == "timeout":
+                    raise EvalTimeoutError(outcome.message)
+                raise ValueError(f"objective returned non-finite value at {x}")
             self.n_failures += 1
-            return self.failure_value.copy()
-        if y.shape != (self.n_objectives,):
-            raise ValueError(
-                f"objective returned shape {y.shape}, expected ({self.n_objectives},)"
-            )
-        if not np.all(np.isfinite(y)):
-            if self.failure_value is None:
-                raise ValueError(f"objective returned non-finite value {y} at {x}")
-            self.n_failures += 1
-            return self.failure_value.copy()
-        return y
+            outcome.value = self.failure_value.copy()
+        return outcome
+
+    def evaluate(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> np.ndarray:
+        """Run the black box once; returns a ``(γ,)`` float vector.
+
+        Thin wrapper over :meth:`evaluate_outcome` with the default (single
+        attempt, no timeout) policy.
+        """
+        return self.evaluate_outcome(task, config).value
 
     def is_feasible(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> bool:
         """Joint feasibility of a configuration for a given task."""

@@ -6,17 +6,39 @@ from .distributed_linalg import (
     distributed_forward_solve,
     forward_substitution_spmd,
 )
-from .executor import ProcessBackend, SerialBackend, ThreadBackend, make_executor
+from .executor import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerError,
+    make_executor,
+)
 from .machine import Machine, cori_haswell, laptop
 from .mpi import InterComm, Request, SimComm, SimJob, run_spmd
+from .resilience import (
+    EvalOutcome,
+    EvalTimeoutError,
+    FatalEvaluationError,
+    RetryPolicy,
+    RunCheckpoint,
+    atomic_write_json,
+    run_with_retries,
+)
 from .simclock import SimClock
-from .trace import TraceEvent, Tracer, traced
+from .trace import CampaignEvent, CampaignLog, TraceEvent, Tracer, traced
 
 __all__ = [
+    "CampaignEvent",
+    "CampaignLog",
+    "EvalOutcome",
+    "EvalTimeoutError",
+    "FatalEvaluationError",
     "InterComm",
     "Machine",
     "ProcessBackend",
     "Request",
+    "RetryPolicy",
+    "RunCheckpoint",
     "SerialBackend",
     "SimClock",
     "SimComm",
@@ -24,6 +46,9 @@ __all__ = [
     "ThreadBackend",
     "TraceEvent",
     "Tracer",
+    "WorkerError",
+    "atomic_write_json",
+    "run_with_retries",
     "cholesky_spmd",
     "cori_haswell",
     "distributed_cholesky",

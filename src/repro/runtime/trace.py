@@ -9,6 +9,11 @@ rank, critical-path rank).
 
 Instrumentation is opt-in and zero-cost when absent: wrap a rank's
 communicator with :func:`traced` inside the SPMD function.
+
+Separately, :class:`CampaignLog` records *tuning-campaign lifecycle* events —
+evaluation retries, timeouts, model downgrades, worker deaths, checkpoints —
+so a production run leaves an auditable trail of every resilience action the
+driver took (see :mod:`repro.runtime.resilience`).
 """
 
 from __future__ import annotations
@@ -19,7 +24,60 @@ from typing import Any, Dict, List, Optional
 
 from .mpi import SimComm
 
-__all__ = ["TraceEvent", "Tracer", "traced"]
+__all__ = ["CampaignEvent", "CampaignLog", "TraceEvent", "Tracer", "traced"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignEvent:
+    """One recorded campaign lifecycle event.
+
+    ``seq`` is the 0-based record order; ``kind`` is a short tag such as
+    ``"retry"``, ``"timeout"``, ``"eval-failure"``, ``"model-downgrade"``,
+    ``"worker-death"``, ``"checkpoint"`` or ``"resume"``.
+    """
+
+    seq: int
+    kind: str
+    detail: str = ""
+
+
+class CampaignLog:
+    """Thread-safe append-only log of campaign events."""
+
+    def __init__(self):
+        self._events: List[CampaignEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, detail: str = "") -> CampaignEvent:
+        """Append one event and return it."""
+        with self._lock:
+            ev = CampaignEvent(len(self._events), str(kind), str(detail))
+            self._events.append(ev)
+        return ev
+
+    @property
+    def events(self) -> List[CampaignEvent]:
+        """All events in record order (copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def of_kind(self, kind: str) -> List[CampaignEvent]:
+        """Events with the given kind tag."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def render(self) -> str:
+        """Human-readable one-line-per-event listing."""
+        ev = self.events
+        if not ev:
+            return "(no events)"
+        return "\n".join(f"[{e.seq:>4}] {e.kind:<16} {e.detail}" for e in ev)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,144 @@
+"""Determinism regressions.
+
+Two invariants guard the resilience subsystem:
+
+* the executor backend is an implementation detail — ``serial``, ``thread``
+  and ``process`` runs with the same seed produce identical evaluation sets
+  and best configs;
+* a campaign killed at iteration k and resumed from its checkpoint produces
+  exactly the evaluation set of an uninterrupted run (the checkpoint captures
+  the seed-tree position, so resumed runs take identical decisions).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core import GPTune, Integer, Options, Real, RunCheckpoint, Space, TuningProblem
+
+
+def _objective(t, c):
+    x = float(c["x"])
+    return (x - 0.35) ** 2 + 0.05 * np.sin(8.0 * x) + 0.01 * float(t["t"])
+
+
+TASKS = [{"t": 1}, {"t": 4}]
+BUDGET = 8
+
+
+def _options(**kw):
+    base = dict(seed=11, n_start=2, pso_iters=6, ei_candidates=10, lbfgs_maxiter=40)
+    base.update(kw)
+    return Options(**base)
+
+
+def _problem():
+    return TuningProblem(
+        Space([Integer("t", 0, 10)]), Space([Real("x", 0.0, 1.0)]), _objective
+    )
+
+
+def _run(**kw):
+    return GPTune(_problem(), _options(**kw)).tune(TASKS, BUDGET)
+
+
+def _assert_same_data(a, b):
+    for i in range(len(TASKS)):
+        xa = [tuple(sorted(d.items())) for d in a.data.X[i]]
+        xb = [tuple(sorted(d.items())) for d in b.data.X[i]]
+        assert xa == xb
+        np.testing.assert_array_equal(np.asarray(a.data.Y[i]), np.asarray(b.data.Y[i]))
+        cfg_a, val_a = a.best(i)
+        cfg_b, val_b = b.best(i)
+        assert cfg_a == cfg_b and val_a == val_b
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return _run(backend="serial")
+
+
+class TestBackendDeterminism:
+    def test_serial_is_reproducible(self, serial_result):
+        _assert_same_data(serial_result, _run(backend="serial"))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial(self, serial_result, backend):
+        _assert_same_data(serial_result, _run(backend=backend, n_workers=2))
+
+
+class _Kill(Exception):
+    pass
+
+
+def _kill_at(k):
+    def callback(iteration, data, models):
+        if iteration == k:
+            raise _Kill(f"simulated crash at iteration {k}")
+
+    return callback
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, serial_result, k):
+        path = str(tmp_path / "run.ck.json")
+        tuner = GPTune(_problem(), _options(checkpoint_path=path))
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(k))
+        assert os.path.exists(path)
+
+        fresh = GPTune(_problem(), _options(checkpoint_path=path))
+        resumed = fresh.resume(path)
+        _assert_same_data(serial_result, resumed)
+        assert len(resumed.events.of_kind("resume")) == 1
+
+    def test_resume_completed_run_adds_nothing(self, tmp_path):
+        path = str(tmp_path / "run.ck.json")
+        done = GPTune(_problem(), _options(checkpoint_path=path)).tune(TASKS, BUDGET)
+        resumed = GPTune(_problem(), _options()).resume(path)
+        assert len(resumed.data) == len(done.data)
+
+    def test_resume_rejects_wrong_problem(self, tmp_path):
+        path = str(tmp_path / "run.ck.json")
+        tuner = GPTune(_problem(), _options(checkpoint_path=path))
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(1))
+        ck = RunCheckpoint.load(path)
+        other = TuningProblem(
+            Space([Integer("t", 0, 10)]),
+            Space([Real("x", 0.0, 1.0)]),
+            _objective,
+            name="other-problem",
+        )
+        with pytest.raises(ValueError, match="checkpoint"):
+            GPTune(other, _options()).resume(ck)
+
+
+class TestCliResume:
+    def test_tune_then_resume_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.ck.json")
+        argv = [
+            "tune", "--app", "analytical", "--random-tasks", "1",
+            "--samples", "6", "--seed", "3", "--checkpoint", path,
+        ]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Popt" in first and os.path.exists(path)
+
+        assert cli.main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out and "Popt" in out
+
+    def test_resume_requires_checkpoint_flag(self):
+        with pytest.raises(SystemExit):
+            cli.main(["tune", "--app", "analytical", "--resume"])
+
+    def test_resume_requires_existing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main([
+                "tune", "--app", "analytical", "--resume",
+                "--checkpoint", str(tmp_path / "missing.json"),
+            ])

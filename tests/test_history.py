@@ -60,6 +60,24 @@ class TestHistoryDB:
         with pytest.raises(ValueError):
             HistoryDB(str(p))
 
+    def test_corrupted_file_error_names_path(self, tmp_path):
+        p = tmp_path / "trunc.json"
+        p.write_text('{"qr": [{"task": {"m": 10}, "x"')  # truncated mid-write
+        with pytest.raises(ValueError, match="trunc.json"):
+            HistoryDB(str(p))
+
+    def test_corrupted_file_preserved_in_sidecar(self, tmp_path):
+        p = tmp_path / "trunc.json"
+        bad = '{"qr": [{"task": {"m": 10}, "x"'
+        p.write_text(bad)
+        with pytest.raises(ValueError, match="corrupt"):
+            HistoryDB(str(p))
+        backup = tmp_path / "trunc.json.corrupt"
+        assert backup.exists()
+        assert backup.read_text() == bad
+        # the original is untouched, so nothing is silently discarded
+        assert p.read_text() == bad
+
     def test_multiple_problems(self, db):
         db.append("a", [REC])
         db.append("b", [REC, REC])

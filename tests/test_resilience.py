@@ -1,0 +1,379 @@
+"""Failure-injection tests for the resilience subsystem.
+
+Covers the matrix (exception / NaN / timeout / worker death) ×
+(retry succeeds / retries exhausted → penalty), backoff-schedule determinism
+under a fixed seed, checkpoint persistence, and the model degradation ladder
+(LCM → per-task GP → random search).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+from scipy import linalg as sla
+
+from repro.apps.analytical import analytical_function
+from repro.core import (
+    GPTune,
+    IndependentGPs,
+    Integer,
+    Options,
+    Real,
+    RetryPolicy,
+    RunCheckpoint,
+    Space,
+    TuningProblem,
+)
+from repro.runtime.resilience import (
+    EvalTimeoutError,
+    FatalEvaluationError,
+    atomic_write_json,
+    run_with_retries,
+)
+
+FAST = Options(seed=0, n_start=1, pso_iters=6, ei_candidates=10, lbfgs_maxiter=40)
+
+
+def _spaces():
+    return Space([Integer("t", 0, 10)]), Space([Real("x", 0.0, 1.0)])
+
+
+class _FlakyObjective:
+    """Fails the first ``fail_times`` calls per distinct config, then works."""
+
+    def __init__(self, kind, fail_times=1):
+        self.kind = kind
+        self.fail_times = fail_times
+        self.calls = {}
+
+    def __call__(self, t, c):
+        key = round(float(c["x"]), 9)
+        n = self.calls.get(key, 0)
+        self.calls[key] = n + 1
+        if n < self.fail_times:
+            if self.kind == "exception":
+                raise RuntimeError("application crashed")
+            if self.kind == "nan":
+                return float("nan")
+            if self.kind == "timeout":
+                time.sleep(0.3)
+        return (float(c["x"]) - 0.4) ** 2
+
+
+class _WorkerKiller:
+    """Kills the first worker process that evaluates it (never the parent)."""
+
+    def __init__(self, marker, parent_pid):
+        self.marker = marker
+        self.parent_pid = parent_pid
+
+    def __call__(self, t, c):
+        if os.getpid() != self.parent_pid and not os.path.exists(self.marker):
+            with open(self.marker, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return (float(c["x"]) - 0.4) ** 2
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        p = RetryPolicy(max_attempts=4, backoff=0.1, backoff_factor=2.0)
+        assert p.schedule(3) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_no_backoff_by_default(self):
+        assert RetryPolicy(max_attempts=3).schedule(2) == [0.0, 0.0]
+
+    def test_jitter_deterministic_under_fixed_seed(self):
+        a = RetryPolicy(max_attempts=3, backoff=0.1, jitter=0.5, seed=42)
+        b = RetryPolicy(max_attempts=3, backoff=0.1, jitter=0.5, seed=42)
+        c = RetryPolicy(max_attempts=3, backoff=0.1, jitter=0.5, seed=43)
+        assert a.schedule(5) == b.schedule(5)
+        assert a.schedule(5) != c.schedule(5)
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(max_attempts=2, backoff=0.2, backoff_factor=1.0, jitter=0.5, seed=1)
+        for attempt, d in enumerate(p.schedule(4), start=1):
+            assert 0.2 <= d <= 0.2 * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestRunWithRetries:
+    def test_success_first_try(self):
+        out = run_with_retries(lambda: [1.0])
+        assert not out.failed
+        assert out.attempts == 1
+        assert out.events == []
+
+    def test_flaky_call_recovers(self):
+        state = {"n": 0}
+
+        def call():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise OSError("flaky")
+            return [2.5]
+
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff=0.01)
+        out = run_with_retries(call, policy, sleep=slept.append)
+        assert not out.failed and out.attempts == 3
+        assert out.value[0] == 2.5
+        assert [k for k, _ in out.events] == ["retry", "retry"]
+        assert slept == pytest.approx(policy.schedule(2))
+
+    def test_exhausted_keeps_last_error(self):
+        def call():
+            raise RuntimeError("persistent")
+
+        out = run_with_retries(call, RetryPolicy(max_attempts=2))
+        assert out.failed and out.failure_kind == "exception"
+        assert isinstance(out.error, RuntimeError)
+        assert out.value is None
+        assert [k for k, _ in out.events] == ["retry", "eval-failure"]
+
+    def test_nonfinite_is_retryable(self):
+        state = {"n": 0}
+
+        def call():
+            state["n"] += 1
+            return [float("inf")] if state["n"] == 1 else [1.0]
+
+        out = run_with_retries(call, RetryPolicy(max_attempts=2))
+        assert not out.failed and out.attempts == 2
+
+    def test_timeout_kind(self):
+        out = run_with_retries(
+            lambda: time.sleep(0.5) or [1.0], RetryPolicy(max_attempts=1, timeout=0.05)
+        )
+        assert out.failed and out.failure_kind == "timeout"
+
+    def test_fatal_error_never_retried(self):
+        state = {"n": 0}
+
+        def call():
+            state["n"] += 1
+            raise FatalEvaluationError("wrong shape")
+
+        with pytest.raises(FatalEvaluationError):
+            run_with_retries(call, RetryPolicy(max_attempts=5))
+        assert state["n"] == 1
+
+
+class TestFailureMatrix:
+    """(exception / NaN / timeout) × (retry succeeds / retries exhausted)."""
+
+    KINDS = [("exception", "exception"), ("nan", "nonfinite"), ("timeout", "timeout")]
+
+    @pytest.mark.parametrize("kind,expected", KINDS)
+    def test_retry_succeeds(self, kind, expected):
+        ts, ps = _spaces()
+        obj = _FlakyObjective(kind, fail_times=1)
+        prob = TuningProblem(ts, ps, obj, failure_value=100.0)
+        policy = RetryPolicy(max_attempts=2, timeout=0.05 if kind == "timeout" else None)
+        out = prob.evaluate_outcome({"t": 1}, {"x": 0.5}, retry=policy)
+        assert not out.failed
+        assert out.attempts == 2
+        assert out.value[0] == pytest.approx((0.5 - 0.4) ** 2)
+        assert prob.n_failures == 0
+        assert any(k == "retry" for k, _ in out.events)
+
+    @pytest.mark.parametrize("kind,expected", KINDS)
+    def test_retries_exhausted_becomes_penalty(self, kind, expected):
+        ts, ps = _spaces()
+        obj = _FlakyObjective(kind, fail_times=10)
+        prob = TuningProblem(ts, ps, obj, failure_value=100.0)
+        policy = RetryPolicy(max_attempts=2, timeout=0.05 if kind == "timeout" else None)
+        out = prob.evaluate_outcome({"t": 1}, {"x": 0.5}, retry=policy)
+        assert out.failed and out.failure_kind == expected
+        assert out.value[0] == 100.0
+        assert prob.n_failures == 1
+        assert any(k == "eval-failure" for k, _ in out.events)
+
+    def test_exhausted_without_failure_value_reraises(self):
+        ts, ps = _spaces()
+        prob = TuningProblem(ts, ps, _FlakyObjective("exception", fail_times=10))
+        with pytest.raises(RuntimeError, match="application crashed"):
+            prob.evaluate_outcome({"t": 1}, {"x": 0.5}, retry=RetryPolicy(max_attempts=2))
+
+    def test_timeout_without_failure_value_raises_timeout(self):
+        ts, ps = _spaces()
+        prob = TuningProblem(ts, ps, _FlakyObjective("timeout", fail_times=10))
+        with pytest.raises(EvalTimeoutError):
+            prob.evaluate_outcome(
+                {"t": 1}, {"x": 0.5}, retry=RetryPolicy(max_attempts=1, timeout=0.05)
+            )
+
+    def test_worker_death_during_tuning(self, tmp_path):
+        """A killed evaluation worker is replaced and the campaign finishes."""
+        ts, ps = _spaces()
+        obj = _WorkerKiller(str(tmp_path / "died"), os.getpid())
+        prob = TuningProblem(ts, ps, obj, failure_value=100.0)
+        opts = FAST.replace(
+            backend="process", n_workers=2, batch_evals=2, model_restarts_parallel=False
+        )
+        res = GPTune(prob, opts).tune([{"t": 1}], 8)
+        assert res.data.n_samples(0) >= 8
+        assert len(res.events.of_kind("worker-death")) >= 1
+
+
+class TestTunerRetryIntegration:
+    def test_retries_counted_in_stats_and_trace(self):
+        ts, ps = _spaces()
+        obj = _FlakyObjective("exception", fail_times=1)
+        prob = TuningProblem(ts, ps, obj, failure_value=100.0)
+        res = GPTune(prob, FAST.replace(retry_attempts=2)).tune([{"t": 1}], 8)
+        assert res.data.n_samples(0) >= 8
+        n_injected = sum(1 for v in obj.calls.values() if v > 1)
+        assert res.stats["n_retries"] == n_injected
+        assert len(res.events.of_kind("retry")) == n_injected
+        # every transient failure recovered: no penalties in the data
+        assert all(y[0] < 100.0 for y in res.data.Y[0])
+        assert res.stats["n_eval_failures"] == 0
+
+
+class _Transient30:
+    """Deterministic transient failures on ~30% of first-time evaluations."""
+
+    def __init__(self, rate=0.3):
+        self.rate = rate
+        self.seen = set()
+        self.injected = 0
+
+    def __call__(self, t, c):
+        key = (round(float(t["t"]), 9), round(float(c["x"]), 9))
+        first = key not in self.seen
+        self.seen.add(key)
+        u = np.random.default_rng(abs(hash(key)) % 2**32).random()
+        if first and u < self.rate:
+            self.injected += 1
+            raise RuntimeError("transient crash")
+        return float(analytical_function(t["t"], c["x"]))
+
+
+class TestAcceptance:
+    def test_30pct_failure_rate_with_2_attempt_retry_completes_budget(self):
+        """Acceptance criterion: 30% injected failures, 2 attempts, full budget,
+        and the trace records every retry."""
+        ts = Space([Real("t", 0.0, 10.0)])
+        ps = Space([Real("x", 0.0, 1.0)])
+        obj = _Transient30(rate=0.3)
+        prob = TuningProblem(ts, ps, obj, failure_value=1e3)
+        opts = FAST.replace(seed=5, retry_attempts=2)
+        res = GPTune(prob, opts).tune([{"t": 1.0}, {"t": 4.0}], 12)
+        for i in range(2):
+            assert res.data.n_samples(i) >= 12
+        assert obj.injected > 0, "failure injection never triggered"
+        assert len(res.events.of_kind("retry")) == obj.injected
+        assert res.stats["n_retries"] == obj.injected
+        # transient failures all recovered on the second attempt
+        assert res.stats["n_eval_failures"] == 0
+        assert all(y[0] < 1e3 for ys in res.data.Y for y in ys)
+
+
+class TestCheckpointPersistence:
+    def _checkpoint(self):
+        return RunCheckpoint(
+            problem="p",
+            entropy=123,
+            spawn_count=4,
+            n_samples=10,
+            tasks=[{"t": 1}],
+            frozen=[],
+            iteration=2,
+            stats={"objective_time": 1.0},
+            X=[[{"x": 0.5}]],
+            Y=[[[0.25]]],
+        )
+
+    def test_roundtrip(self, tmp_path):
+        p = str(tmp_path / "ck.json")
+        ck = self._checkpoint()
+        ck.save(p)
+        loaded = RunCheckpoint.load(p)
+        assert loaded == ck
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        p = str(tmp_path / "ck.json")
+        self._checkpoint().save(p)
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []
+
+    def test_corrupted_checkpoint_names_path(self, tmp_path):
+        p = tmp_path / "ck.json"
+        p.write_text('{"problem": "p", "entr')
+        with pytest.raises(ValueError, match="ck.json"):
+            RunCheckpoint.load(str(p))
+
+    def test_missing_fields_rejected(self, tmp_path):
+        p = tmp_path / "ck.json"
+        p.write_text('{"problem": "p"}')
+        with pytest.raises(ValueError, match="missing fields"):
+            RunCheckpoint.load(str(p))
+
+    def test_atomic_write_json_handles_numpy(self, tmp_path):
+        p = str(tmp_path / "o.json")
+        atomic_write_json(p, {"a": np.int64(3), "b": np.array([1.0, 2.0])})
+        import json
+
+        assert json.load(open(p)) == {"a": 3, "b": [1.0, 2.0]}
+
+
+class TestDegradationLadder:
+    def _problem(self):
+        ts, ps = _spaces()
+        return TuningProblem(ts, ps, lambda t, c: (c["x"] - 0.4) ** 2 + 0.01 * t["t"])
+
+    def test_lcm_failure_falls_back_to_per_task_gps(self, monkeypatch):
+        def boom(self, *a, **k):
+            raise sla.LinAlgError("cholesky breakdown")
+
+        monkeypatch.setattr("repro.core.lcm.LCM.fit", boom)
+        res = GPTune(self._problem(), FAST).tune([{"t": 1}, {"t": 3}], 6)
+        assert res.data.n_samples(0) >= 6 and res.data.n_samples(1) >= 6
+        assert isinstance(res.models[0], IndependentGPs)
+        downgrades = res.events.of_kind("model-downgrade")
+        assert downgrades and "per-task gp" in downgrades[0].detail
+
+    def test_double_failure_falls_back_to_random_search(self, monkeypatch):
+        def boom(self, *a, **k):
+            raise sla.LinAlgError("cholesky breakdown")
+
+        monkeypatch.setattr("repro.core.lcm.LCM.fit", boom)
+        monkeypatch.setattr("repro.core.gp.GaussianProcess.fit", boom)
+        res = GPTune(self._problem(), FAST).tune([{"t": 1}], 6)
+        assert res.data.n_samples(0) >= 6
+        assert res.models[0] is None
+        details = [e.detail for e in res.events.of_kind("model-downgrade")]
+        assert any("per-task gp" in d for d in details)
+        assert any("random search" in d for d in details)
+
+    def test_fallback_disabled_propagates(self, monkeypatch):
+        def boom(self, *a, **k):
+            raise sla.LinAlgError("cholesky breakdown")
+
+        monkeypatch.setattr("repro.core.lcm.LCM.fit", boom)
+        with pytest.raises(sla.LinAlgError):
+            GPTune(self._problem(), FAST.replace(model_fallback=False)).tune([{"t": 1}], 6)
+
+    def test_multiobjective_degradation_random_search(self, monkeypatch):
+        def boom(self, *a, **k):
+            raise sla.LinAlgError("cholesky breakdown")
+
+        monkeypatch.setattr("repro.core.lcm.LCM.fit", boom)
+        monkeypatch.setattr("repro.core.gp.GaussianProcess.fit", boom)
+        ts, ps = _spaces()
+        prob = TuningProblem(
+            ts, ps, lambda t, c: [c["x"], (c["x"] - 1.0) ** 2], n_objectives=2
+        )
+        res = GPTune(prob, FAST).tune([{"t": 1}], 6)
+        assert res.data.n_samples(0) >= 6

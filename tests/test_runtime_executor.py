@@ -1,12 +1,41 @@
 """Tests for executor backends (repro.runtime.executor)."""
 
+import os
+import signal
+
 import pytest
 
-from repro.runtime import ProcessBackend, SerialBackend, ThreadBackend, make_executor
+from repro.runtime import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerError,
+    make_executor,
+)
 
 
 def _square(x):
     return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("bad three")
+    return x * 10
+
+
+def _die_once(arg):
+    """Kill the worker on first sight of the marker-less filesystem."""
+    marker, val = arg
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return val * 2
+
+
+def _always_die(_x):
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 class TestBackends:
@@ -34,6 +63,55 @@ class TestBackends:
         # pool is shut down; submitting again must fail
         with pytest.raises(RuntimeError):
             ex.map(_square, [1])
+
+
+class TestWorkerError:
+    BACKENDS = [
+        pytest.param(lambda: SerialBackend(), id="serial"),
+        pytest.param(lambda: ThreadBackend(2), id="thread"),
+        pytest.param(lambda: ProcessBackend(2), id="process"),
+    ]
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_first_failing_index_surfaces(self, make):
+        ex = make()
+        try:
+            with pytest.raises(WorkerError) as ei:
+                ex.map(_fail_on_three, [1, 3, 2, 3])
+            assert ei.value.index == 1
+            assert "work item 1" in str(ei.value)
+            assert isinstance(ei.value.__cause__, ValueError)
+        finally:
+            ex.shutdown()
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_success_unaffected(self, make):
+        ex = make()
+        try:
+            assert ex.map(_square, [4, 5]) == [16, 25]
+        finally:
+            ex.shutdown()
+
+
+class TestWorkerDeath:
+    def test_lost_items_resubmitted_on_fresh_pool(self, tmp_path):
+        events = []
+        marker = str(tmp_path / "died")
+        ex = ProcessBackend(1, on_event=lambda kind, detail: events.append(kind))
+        try:
+            out = ex.map(_die_once, [(marker, 1), (marker, 2), (marker, 3)])
+            assert out == [2, 4, 6]
+            assert "worker-death" in events
+        finally:
+            ex.shutdown()
+
+    def test_poison_item_exhausts_restarts(self):
+        ex = ProcessBackend(1, max_pool_restarts=1)
+        try:
+            with pytest.raises(WorkerError, match="giving up"):
+                ex.map(_always_die, [0])
+        finally:
+            ex.shutdown()
 
 
 class TestFactory:
