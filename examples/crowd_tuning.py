@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Crowd tuning: many campaigns, one shared history service.
+
+This walkthrough stands up the tuning-history service in-process (in real
+deployments: ``repro serve --root /shared/tuning-db`` on a hub machine),
+then plays three roles against it over plain HTTP:
+
+1. **User A** tunes two tasks of the analytical function (Eq. 11) and
+   archives every evaluation through the service.
+2. **User B** — a different client, nominally on another machine — tunes a
+   third task against the *same* archive.  The shard locks behind the
+   service keep concurrent writers safe; here the runs are sequential so
+   the output is deterministic.
+3. **User C** never runs a campaign at all: they query the service for the
+   archived tasks nearest to a brand-new task and transfer-learn from the
+   crowd's records (:meth:`TransferLearner.from_archive`).
+
+Run:  python examples/crowd_tuning.py
+"""
+
+import tempfile
+import threading
+
+from repro import GPTune, Options, ServiceClient, TransferLearner
+from repro.apps.analytical import AnalyticalApp
+from repro.service.server import make_server
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="crowd_tuning_")
+    server = make_server(root, port=0)  # ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    print(f"history service at {url} (store: {root})")
+
+    app = AnalyticalApp(seed=0)
+    problem = app.problem()
+
+    # -- user A: archive two tasks -----------------------------------------
+    client_a = ServiceClient(url)
+    GPTune(problem, Options(seed=0, n_start=2), history=client_a).tune(
+        [{"t": 2.8}, {"t": 3.0}], n_samples=8
+    )
+    print(f"user A archived {client_a.count(problem.name)} evaluations")
+
+    # -- user B: a second campaign joins the same archive -------------------
+    client_b = ServiceClient(url)
+    GPTune(problem, Options(seed=1, n_start=2), history=client_b).tune(
+        [{"t": 2.9}], n_samples=8
+    )
+    print(f"user B raised the archive to {client_b.count(problem.name)} evaluations")
+
+    # -- user C: no campaign — query and transfer ---------------------------
+    client_c = ServiceClient(url)
+    new_task = {"t": 2.95}
+    for match in client_c.query(problem.name, new_task, k=2):
+        print(
+            f"user C: archived task {match['task']} is {match['distance']:.3f} away "
+            f"({len(match['records'])} records)"
+        )
+    tla = TransferLearner.from_archive(problem, client_c, new_task=new_task)
+    cfg = tla.predict_config(new_task)
+    y = problem.evaluate(new_task, cfg)
+    print(
+        f"user C: transferred config for t={new_task['t']} without tuning: "
+        f"x={cfg['x']:.4f} -> y={float(y[0]):.4f}"
+    )
+
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ Run:  python examples/history_reuse.py
 """
 
 import os
+import shutil
 import tempfile
 
 from repro import GPTune, HistoryDB, Options
@@ -20,8 +21,12 @@ from repro.runtime import cori_haswell
 
 def main():
     path = os.path.join(tempfile.gettempdir(), "gptune_history_demo.json")
-    if os.path.exists(path):
-        os.unlink(path)
+    # a fresh demo each run: drop the legacy file and the sharded store dir
+    for stale in (path, path + ".d"):
+        if os.path.isdir(stale):
+            shutil.rmtree(stale)
+        elif os.path.exists(stale):
+            os.unlink(stale)
 
     app = SuperLUDIST(machine=cori_haswell(8), matrices=["SiNa"], scale=0.05, seed=0)
     task = [{"matrix": "SiNa"}]

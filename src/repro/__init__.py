@@ -35,10 +35,14 @@ from .core import (
     TuningProblem,
     surrogate_sensitivity,
 )
+from .service import ServiceClient, ShardedStore, SurrogateCache
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ServiceClient",
+    "ShardedStore",
+    "SurrogateCache",
     "Categorical",
     "Constraint",
     "GaussianProcess",

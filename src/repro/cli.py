@@ -10,11 +10,20 @@ artifact appendix's "run one script, read Popt/Oopt" experience::
     python -m repro.cli tune --app hypre --checkpoint run.ck.json --resume
     python -m repro.cli compare --app superlu_dist --samples 12
     python -m repro.cli sensitivity --app hypre --samples 16
+    python -m repro.cli serve --root ./tuning-db --port 8577
+    python -m repro.cli query --url http://localhost:8577 --problem hypre \
+        --task '{"nx": 100, "ny": 100, "nz": 100}' -k 3
 
 ``tune`` prints the optimal configuration ("Popt") and objective ("Oopt")
 per task plus the Tab. 3-style phase breakdown ("stats:").  With
 ``--checkpoint`` a resumable snapshot is written after every batch; a killed
 campaign continues exactly where it stopped with ``--resume``.
+
+``serve`` runs the shared tuning-history service over a sharded store
+directory; ``tune --history URL_OR_PATH`` archives into (and warm-starts
+from) a service, a store directory, or a legacy JSON file, so concurrent
+campaigns crowd-tune against one database.  ``query`` asks an archive for
+the tasks nearest to a given one (the transfer-learning source lookup).
 """
 
 from __future__ import annotations
@@ -86,6 +95,21 @@ def _cmd_list_apps(_args) -> int:
     return 0
 
 
+def _archive_from(spec: str):
+    """Resolve an archive spec: service URL, store directory, or legacy JSON."""
+    if spec.startswith(("http://", "https://")):
+        from .service import ServiceClient
+
+        return ServiceClient(spec)
+    if spec.endswith(".json"):
+        from .core import HistoryDB
+
+        return HistoryDB(spec)
+    from .service import ShardedStore
+
+    return ShardedStore(spec)
+
+
 def _cmd_tune(args) -> int:
     app = build_app(args.app, args.nodes, args.seed)
     try:
@@ -96,13 +120,15 @@ def _cmd_tune(args) -> int:
             checkpoint_path=args.checkpoint,
             retry_attempts=args.retries,
             eval_timeout=args.eval_timeout,
+            model_cache_path=args.model_cache,
         )
     except ValueError as e:
         raise SystemExit(str(e))
     problem = app.problem(with_models=args.models)
     if args.failure_value is not None:
         problem.failure_value = np.full(problem.n_objectives, float(args.failure_value))
-    tuner = GPTune(problem, opts)
+    history = _archive_from(args.history) if args.history else None
+    tuner = GPTune(problem, opts, history=history)
     if args.resume:
         if not args.checkpoint:
             raise SystemExit("--resume requires --checkpoint PATH")
@@ -183,6 +209,46 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    if bool(args.url) == bool(args.root):
+        raise SystemExit("query needs exactly one of --url or --root")
+    archive = _archive_from(args.url or args.root)
+    if not args.problem:
+        stats = (
+            archive.stats()
+            if hasattr(archive, "stats")
+            else {"problems": {p: {"count": archive.count(p)} for p in archive.problems()}}
+        )
+        for name, info in sorted(stats["problems"].items()):
+            etag = info.get("etag", "")
+            print(f"{name:20s} {info['count']:>8} record(s)  {etag[:12]}")
+        if not stats["problems"]:
+            print("(archive is empty)")
+        return 0
+    if not args.task:
+        print(f"{args.problem}: {archive.count(args.problem)} record(s)")
+        return 0
+    try:
+        task = json.loads(args.task)
+        if not isinstance(task, dict):
+            raise ValueError("not an object")
+    except ValueError as e:
+        raise SystemExit(f"--task must be a JSON object: {e}")
+    from .service.query import nearest_tasks
+
+    matches = nearest_tasks(archive.records(args.problem), task, k=args.k)
+    if not matches:
+        print(f"{args.problem}: no archived tasks")
+        return 0
+    for t, recs, d in matches:
+        ys = [r["y"][0] for r in recs]
+        print(
+            f"task {json.dumps(t)}  distance {d:.4g}  "
+            f"{len(recs)} record(s)  best {min(ys):.6g}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -225,12 +291,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="penalty objective value recorded when an evaluation still "
              "fails after --retries attempts (default: abort the run)",
     )
+    p_tune.add_argument(
+        "--history",
+        help="shared archive to load from and append to: a service URL "
+             "(http://...), a sharded store directory, or a legacy *.json file",
+    )
+    p_tune.add_argument(
+        "--model-cache",
+        help="surrogate-cache file; campaigns sharing it warm-start the "
+             "modeling phase from each other's fitted hyperparameters",
+    )
 
     p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")
     common(p_cmp)
 
     p_sens = sub.add_parser("sensitivity", help="Sobol indices of the fitted surrogate")
     common(p_sens)
+
+    p_serve = sub.add_parser("serve", help="run the shared tuning-history service")
+    p_serve.add_argument("--root", required=True, help="sharded store directory")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8577)
+    p_serve.add_argument("--quiet", action="store_true", help="suppress request logging")
+
+    p_query = sub.add_parser("query", help="inspect an archive / nearest-task lookup")
+    p_query.add_argument(
+        "--url", help="service URL (mutually exclusive with --root)"
+    )
+    p_query.add_argument("--root", help="local store directory or legacy *.json file")
+    p_query.add_argument("--problem", help="problem name to query")
+    p_query.add_argument(
+        "--task", help='query task as a JSON object, e.g. \'{"t": 2.5}\''
+    )
+    p_query.add_argument("-k", type=int, default=3, help="number of nearest tasks")
 
     args = parser.parse_args(argv)
     if args.command == "list-apps":
@@ -241,6 +334,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
+    if args.command == "serve":
+        from .service import serve
+
+        serve(args.root, args.host, args.port, verbose=not args.quiet)
+        return 0
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError  # pragma: no cover
 
 

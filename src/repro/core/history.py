@@ -2,89 +2,126 @@
 
 One of GPTune's stated goals (Sec. 1, goal 3) is "archiving and reusing
 tuning data from multiple executions to allow tuning to improve over time".
-:class:`HistoryDB` is a small JSON-file database keyed by problem name.  A
-:class:`~repro.core.mla.GPTune` instance given a database will
+:class:`HistoryDB` is the archive handle a
+:class:`~repro.core.mla.GPTune` instance takes: it
 
-* load archived evaluations whose task matches one of its tasks (these count
+* loads archived evaluations whose task matches one of its tasks (these count
   as free initial samples — the modeling phase starts from them), and
-* append every new evaluation, so subsequent runs start warmer.
+* appends every new evaluation, so subsequent runs start warmer.
 
-The on-disk format is a single JSON object ``{problem_name: [records]}`` with
-records ``{"task": {...}, "x": {...}, "y": [floats]}``, matching
-:meth:`repro.core.data.TuningData.to_records`.
+Since the shared tuning-history service landed, :class:`HistoryDB` is a thin
+back-compat shim over :class:`~repro.service.store.ShardedStore`: records
+live in per-problem append-only JSONL shards under ``<path>.d/`` with
+advisory file locking, so an append writes only the new lines (the original
+implementation rewrote the entire JSON store on every save) and concurrent
+campaigns sharing one database no longer lose each other's records.
+
+The original on-disk format — a single JSON object ``{problem_name:
+[records]}`` with records ``{"task": {...}, "x": {...}, "y": [floats]}``
+matching :meth:`repro.core.data.TuningData.to_records` — remains the
+**import path**: a legacy JSON file found at ``path`` is absorbed into the
+shards on open (idempotently — re-opening does not duplicate it), and
+:meth:`export_json` writes the consolidated single-file view back out for
+interchange.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..runtime.resilience import atomic_write_json
+from ..service.store import ShardedStore, canonical_payload
 
 __all__ = ["HistoryDB"]
 
 
 class HistoryDB:
-    """JSON-backed archive of function evaluations.
+    """Shard-backed archive of function evaluations.
 
     Parameters
     ----------
     path:
-        File path; created on first save.  The file is written atomically
-        (temp file + rename) so a crash cannot corrupt the archive.  A
-        truncated/corrupted file found at load time raises a ``ValueError``
-        naming the path, after preserving the bad bytes in a ``.corrupt``
-        sidecar for post-mortem.
+        Legacy single-JSON location; the shards live beside it in
+        ``<path>.d/`` (created on first use).  A JSON file present at
+        ``path`` is imported once.  A truncated/corrupted file found at load
+        time raises a ``ValueError`` naming the path, after preserving the
+        bad bytes in a ``.corrupt`` sidecar for post-mortem.
     """
 
     def __init__(self, path: str):
         self.path = str(path)
-        self._store: Dict[str, List[Dict[str, Any]]] = {}
+        self.store = ShardedStore(self.path + ".d")
         if os.path.exists(self.path):
-            with open(self.path, "r", encoding="utf-8") as fh:
-                text = fh.read()
-            try:
-                raw = json.loads(text)
-            except json.JSONDecodeError as e:
-                backup = self.path + ".corrupt"
-                with open(backup, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                raise ValueError(
-                    f"{self.path}: corrupted history database ({e}); "
-                    f"bad file preserved at {backup}"
-                ) from e
-            if not isinstance(raw, dict):
-                raise ValueError(f"{self.path}: malformed history database")
-            self._store = {str(k): list(v) for k, v in raw.items()}
+            self._import_legacy()
+
+    def _import_legacy(self) -> None:
+        """Absorb the single-JSON store into the shards, idempotently.
+
+        Each legacy record gets a deterministic rid derived from its file
+        position and payload, so importing the same file again (every open
+        does) deduplicates instead of doubling the archive.
+        """
+        with open(self.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as e:
+            backup = self.path + ".corrupt"
+            with open(backup, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            raise ValueError(
+                f"{self.path}: corrupted history database ({e}); "
+                f"bad file preserved at {backup}"
+            ) from e
+        if not isinstance(raw, dict):
+            raise ValueError(f"{self.path}: malformed history database")
+        for problem, records in raw.items():
+            rows = []
+            for i, rec in enumerate(records):
+                if not {"task", "x", "y"} <= set(rec):
+                    raise ValueError(f"malformed record {rec!r}")
+                digest = hashlib.sha1(
+                    f"legacy:{problem}:{i}:{canonical_payload(rec)}".encode("utf-8")
+                ).hexdigest()
+                rows.append({**rec, "rid": digest})
+            self.store.append(str(problem), rows)
 
     # -- queries -----------------------------------------------------------
     def problems(self) -> List[str]:
         """Names of problems with archived data."""
-        return sorted(self._store)
+        return [p for p in self.store.problems() if self.store.count(p) > 0]
 
     def records(self, problem: str) -> List[Dict[str, Any]]:
-        """All archived records for one problem (copy)."""
-        return [dict(r) for r in self._store.get(problem, [])]
+        """All archived records for one problem (copies, legacy shape)."""
+        return self.store.records(problem)
 
     def count(self, problem: str) -> int:
         """Number of archived evaluations for one problem."""
-        return len(self._store.get(problem, []))
+        return self.store.count(problem)
 
     # -- updates ---------------------------------------------------------
     def append(self, problem: str, records: Sequence[Mapping[str, Any]]) -> None:
-        """Append records and persist immediately."""
-        bucket = self._store.setdefault(problem, [])
-        for rec in records:
-            if not {"task", "x", "y"} <= set(rec):
-                raise ValueError(f"malformed record {rec!r}")
-            bucket.append({"task": dict(rec["task"]), "x": dict(rec["x"]), "y": list(rec["y"])})
-        self._flush()
+        """Append records and persist immediately (appends only the new lines)."""
+        self.store.append(problem, records)
 
     def clear(self, problem: str) -> None:
         """Drop all records for one problem."""
-        self._store.pop(problem, None)
-        self._flush()
+        self.store.clear(problem)
 
-    def _flush(self) -> None:
-        atomic_write_json(self.path, self._store)
+    def compact(self, problem: Optional[str] = None) -> None:
+        """Compact one problem's shard (or all): drop torn/duplicate lines."""
+        for name in [problem] if problem is not None else self.store.problems():
+            self.store.compact(name)
+
+    def export_json(self, path: Optional[str] = None) -> str:
+        """Write the legacy single-JSON view of the whole archive.
+
+        Defaults to the database's own ``path``; the write is atomic
+        (temp file + rename).  Returns the path written.
+        """
+        out = str(path) if path is not None else self.path
+        atomic_write_json(out, {p: self.records(p) for p in self.problems()})
+        return out

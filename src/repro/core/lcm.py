@@ -252,7 +252,13 @@ class LCM:
         return bounds
 
     # -- public API ------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray, task_index: Sequence[int]) -> "LCM":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task_index: Sequence[int],
+        theta0: Optional[np.ndarray] = None,
+    ) -> "LCM":
         """Fit the LCM to stacked samples.
 
         Parameters
@@ -263,6 +269,11 @@ class LCM:
             ``(N,)`` objective values (typically transformed upstream).
         task_index:
             ``(N,)`` integer task id in ``[0, δ)`` per row.
+        theta0:
+            Optional warm-start hyperparameter vector (e.g. from the
+            surrogate-model cache): it replaces the first restart's
+            initialization, so ``n_start=1`` reduces the multi-start search
+            to one L-BFGS run from a known-good optimum.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -275,10 +286,18 @@ class LCM:
             raise ValueError("task_index out of range")
         sqd = pairwise_sq_diffs(X)
 
-        jobs = [
-            (self._initial_theta(y, s + self.restart_offset), sqd, y, tidx)
+        if theta0 is not None:
+            theta0 = np.asarray(theta0, dtype=float).ravel()
+            if theta0.shape != (self.params.size,):
+                raise ValueError(
+                    f"theta0 has {theta0.shape[0]} entries, expected {self.params.size}"
+                )
+        starts = [
+            theta0 if s == 0 and theta0 is not None
+            else self._initial_theta(y, s + self.restart_offset)
             for s in range(self.n_start)
         ]
+        jobs = [(t, sqd, y, tidx) for t in starts]
         if self.executor is not None:
             results = list(self.executor.map(self._optimize_one, jobs))
         else:

@@ -174,9 +174,20 @@ class GPTune:
     options:
         Algorithm knobs; see :class:`~repro.core.options.Options`.
     history:
-        Optional :class:`~repro.core.history.HistoryDB`.  Matching archived
+        Optional archive with ``records(name)`` / ``append(name, records)``
+        — a :class:`~repro.core.history.HistoryDB`, a
+        :class:`~repro.service.store.ShardedStore`, or a remote
+        :class:`~repro.service.client.ServiceClient`.  Matching archived
         evaluations seed the model for free, and new evaluations are
-        archived.
+        archived (crowd tuning: concurrent campaigns may share one archive).
+    model_cache:
+        Optional :class:`~repro.service.modelcache.SurrogateCache`.  Before
+        each modeling phase the cache is consulted with the content
+        fingerprints of the current data; on a subset/superset hit the LCM
+        warm-starts from the cached hyperparameters with a single L-BFGS
+        start instead of ``options.n_start`` cold multi-starts, and every
+        successful fit is cached for the next campaign.  May also be set via
+        ``options.model_cache_path``.
     """
 
     def __init__(
@@ -184,10 +195,16 @@ class GPTune:
         problem: TuningProblem,
         options: Optional[Options] = None,
         history: Optional[HistoryDB] = None,
+        model_cache: Optional[Any] = None,
     ):
         self.problem = problem
         self.options = options or Options()
         self.history = history
+        self.model_cache = model_cache
+        if self.model_cache is None and self.options.model_cache_path is not None:
+            from ..service.modelcache import SurrogateCache
+
+            self.model_cache = SurrogateCache(self.options.model_cache_path)
         self.events = CampaignLog()
         self._seeds = np.random.SeedSequence(self.options.seed)
         self._executor = None
@@ -457,11 +474,16 @@ class GPTune:
 
         models, transforms, ybests = [], [], []
         executor = self._get_executor() if self.options.model_restarts_parallel else None
+        fingerprints = None
+        if self.model_cache is not None:
+            from ..service.store import content_fingerprint
+
+            fingerprints = frozenset(content_fingerprint(r) for r in data.to_records())
         for s in range(gamma):
             _, ys, _ = data.stacked(s)
             tr = _YTransform(self.options.y_transform)
             yt = tr.fit(ys)
-            models.append(self._fit_surrogate(data, X, yt, tidx, executor, s))
+            models.append(self._fit_surrogate(data, X, yt, tidx, executor, s, fingerprints))
             transforms.append(tr)
             # per-task incumbents in transformed units
             ybests.append(
@@ -472,25 +494,53 @@ class GPTune:
         stats["modeling_time"] += time.perf_counter() - t0
         return models, transforms, ybests
 
-    def _fit_surrogate(self, data: TuningData, X, yt, tidx, executor, objective: int):
+    def _fit_surrogate(
+        self, data: TuningData, X, yt, tidx, executor, objective: int, fingerprints=None
+    ):
         """Fit the LCM, degrading gracefully when the fit breaks down.
 
         The ladder is LCM → independent per-task GPs → ``None`` (random
         search); each downgrade emits a ``"model-downgrade"`` event.  With
         ``options.model_fallback`` off, failures propagate as before.
+
+        When a surrogate cache holds a fit whose data is a subset/superset
+        of ours (``fingerprints``), its hyperparameters warm-start a single
+        L-BFGS run in place of the cold multi-start.  Every fit emits a
+        ``"model-fit"`` event recording how many multi-starts it spent.
         """
+        n_latent = self.options.n_latent or min(data.n_tasks, 3)
+        n_start = self.options.n_start
+        theta0 = None
+        if self.model_cache is not None and fingerprints:
+            cached = self.model_cache.lookup(
+                self.problem.name,
+                objective,
+                fingerprints,
+                n_tasks=data.n_tasks,
+                n_dims=X.shape[1],
+                n_latent=n_latent,
+            )
+            if cached is not None:
+                theta0 = np.asarray(cached.theta, dtype=float)
+                n_start = 1
+                self.events.record(
+                    "model-cache-hit",
+                    f"objective {objective}: warm start from {cached.key[:12]} "
+                    f"({len(cached.fingerprints)} record(s) cached, "
+                    f"{len(fingerprints)} current)",
+                )
         lcm = LCM(
             n_tasks=data.n_tasks,
             n_dims=X.shape[1],
-            n_latent=self.options.n_latent,
+            n_latent=n_latent,
             jitter=self.options.jitter,
-            n_start=self.options.n_start,
+            n_start=n_start,
             maxiter=self.options.lbfgs_maxiter,
             seed=self._child_seed(),
             executor=executor,
         )
         try:
-            lcm.fit(X, yt, tidx)
+            lcm.fit(X, yt, tidx, theta0=theta0)
         except Exception as e:
             if not self.options.model_fallback:
                 raise
@@ -499,6 +549,29 @@ class GPTune:
             # a "fit" whose every multi-start diverged (NLL stuck at the
             # Cholesky-failure sentinel) is as useless as a crashed one
             if np.isfinite(lcm.log_likelihood_) and lcm.log_likelihood_ > -1e24:
+                self.events.record(
+                    "model-fit",
+                    f"objective {objective}: n_starts={n_start} n={X.shape[0]} "
+                    f"warm={theta0 is not None}",
+                )
+                if self.model_cache is not None and fingerprints:
+                    from ..service.modelcache import CachedFit
+
+                    key = self.model_cache.put(
+                        CachedFit(
+                            self.problem.name,
+                            objective,
+                            data.n_tasks,
+                            X.shape[1],
+                            n_latent,
+                            lcm.theta,
+                            lcm.log_likelihood_,
+                            fingerprints,
+                        )
+                    )
+                    self.events.record(
+                        "model-cache-store", f"objective {objective}: {key[:12]}"
+                    )
                 return lcm
             if not self.options.model_fallback:
                 raise RuntimeError("LCM fit diverged and model_fallback is disabled")

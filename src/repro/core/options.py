@@ -86,6 +86,14 @@ class Options:
     checkpoint_every:
         Write the checkpoint every k-th iteration (the post-sampling snapshot
         is always written).
+    model_cache_path:
+        When set, a :class:`~repro.service.modelcache.SurrogateCache` at this
+        path is consulted before every modeling phase and fed after it: a
+        campaign whose data is a subset/superset of a cached fit warm-starts
+        L-BFGS from the cached hyperparameters with a single start instead of
+        ``n_start`` cold multi-starts.  Share one path between campaigns (the
+        file is lock-guarded) to skip redundant modeling across restarts and
+        neighboring crowd-tuning runs.
     model_fallback:
         Degrade gracefully when the LCM fit fails (Cholesky breakdown, all
         multi-starts diverging): fall back to independent per-task GPs, then
@@ -119,6 +127,7 @@ class Options:
     eval_timeout: Optional[float] = None
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
+    model_cache_path: Optional[str] = None
     model_fallback: bool = True
     verbose: bool = False
 

@@ -55,6 +55,45 @@ class TransferLearner:
         self.problem = problem
         self.source = source
 
+    @classmethod
+    def from_archive(
+        cls,
+        problem: TuningProblem,
+        archive: Any,
+        new_task: Optional[Mapping[str, Any]] = None,
+        max_source_tasks: Optional[int] = None,
+    ) -> "TransferLearner":
+        """Build a transfer learner straight from a tuning archive.
+
+        This is the cross-campaign reuse path: campaign A archives its MLA
+        evaluations (via a :class:`~repro.core.history.HistoryDB`, a
+        :class:`~repro.service.store.ShardedStore`, or the crowd-tuning
+        service), and campaign B — a different process, machine, or user —
+        transfers them to an unseen task without ever seeing A's
+        :class:`~repro.core.mla.TuneResult`.
+
+        Parameters
+        ----------
+        problem:
+            The tuning problem; its name selects the archive shard.
+        archive:
+            Anything with ``records(problem_name)`` — ``HistoryDB``,
+            ``ShardedStore``, or ``ServiceClient``.
+        new_task:
+            With ``max_source_tasks``, pre-prunes the archive to the source
+            tasks nearest to this one (normalized task space) via
+            :func:`repro.service.query.nearest_tasks`.
+        max_source_tasks:
+            Source-task cap applied at archive load (``None`` = keep all;
+            :meth:`tune` can prune further per call).
+        """
+        from ..service.query import archive_source
+
+        source = archive_source(
+            problem, archive, new_task=new_task, max_tasks=max_source_tasks
+        )
+        return cls(problem, source)
+
     # -- TLA-0: no new evaluations ------------------------------------------
     def predict_config(
         self, new_task: Mapping[str, Any], power: float = 2.0, objective: int = 0
@@ -135,11 +174,18 @@ class TransferLearner:
         keep = list(order[: max_source_tasks] if max_source_tasks else order)
 
         new_task_dict = self.problem.task_space.to_dict(new_task)
+        # a source task identical to the new task cannot be a *frozen* row
+        # (duplicate task keys would swallow its records) — its archived
+        # evaluations preload the new task's own row instead, which is the
+        # stronger reuse anyway
+        new_key = _record_key(self.problem, new_task_dict)
+        exact = [i for i in keep if _record_key(self.problem, self.source.tasks[i]) == new_key]
+        keep = [i for i in keep if i not in exact]
         tasks: List[Mapping[str, Any]] = [self.source.tasks[i] for i in keep]
         tasks.append(new_task_dict)
         records = [
             rec
-            for i in keep
+            for i in keep + exact
             for rec in _task_records(self.source, i)
         ]
         if seed_with_tla0:
@@ -155,6 +201,10 @@ class TransferLearner:
             preload=records,
             frozen=list(range(len(keep))),
         )
+
+
+def _record_key(problem: TuningProblem, task: Mapping[str, Any]) -> tuple:
+    return tuple(repr(task[n]) for n in problem.task_space.names)
 
 
 def _task_records(data: TuningData, task: int) -> List[Dict[str, Any]]:

@@ -33,7 +33,11 @@ class CampaignEvent:
 
     ``seq`` is the 0-based record order; ``kind`` is a short tag such as
     ``"retry"``, ``"timeout"``, ``"eval-failure"``, ``"model-downgrade"``,
-    ``"worker-death"``, ``"checkpoint"`` or ``"resume"``.
+    ``"worker-death"``, ``"checkpoint"`` or ``"resume"``.  The tuning-history
+    service adds ``"service-append"``, ``"service-compact"`` and
+    ``"service-torn-line"`` (storage layer), and the modeling phase records
+    ``"model-fit"`` (with its ``n_starts=`` multi-start count),
+    ``"model-cache-hit"`` and ``"model-cache-store"`` (surrogate cache).
     """
 
     seq: int
@@ -71,6 +75,29 @@ class CampaignLog:
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
+
+    def count(self, kind: str) -> int:
+        """Number of events with one kind tag."""
+        return len(self.of_kind(kind))
+
+    def total(self, kind: str, field: str) -> int:
+        """Sum an integer ``field=N`` annotation over one kind's details.
+
+        E.g. ``log.total("model-fit", "n_starts")`` is the campaign's total
+        L-BFGS multi-start count — the quantity the surrogate cache exists
+        to shrink.  Events lacking the annotation contribute 0.
+        """
+        total = 0
+        needle = field + "="
+        for e in self.of_kind(kind):
+            for tok in e.detail.split():
+                if tok.startswith(needle):
+                    try:
+                        total += int(tok[len(needle):])
+                    except ValueError:
+                        pass
+                    break
+        return total
 
     def render(self) -> str:
         """Human-readable one-line-per-event listing."""

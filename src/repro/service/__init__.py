@@ -1,0 +1,35 @@
+"""Shared tuning-history service.
+
+The production layer of GPTune's "archive and reuse" goal (Sec. 1, goal 3):
+a sharded append-only record store safe for concurrent campaigns
+(:mod:`~repro.service.store`), a cache of fitted surrogate hyperparameters
+(:mod:`~repro.service.modelcache`), nearest-task queries feeding transfer
+learning (:mod:`~repro.service.query`), and a stdlib HTTP server/client pair
+for crowd tuning across machines (:mod:`~repro.service.server`,
+:mod:`~repro.service.client`).  See ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, ServiceError, StaleEtagError
+from .modelcache import CachedFit, SurrogateCache
+from .query import archive_source, group_by_task, nearest_tasks, source_data_from_records
+from .server import TuningHistoryServer, make_server, serve
+from .store import ShardedStore, ShardLock, canonical_payload, content_fingerprint
+
+__all__ = [
+    "CachedFit",
+    "ServiceClient",
+    "ServiceError",
+    "ShardLock",
+    "ShardedStore",
+    "StaleEtagError",
+    "SurrogateCache",
+    "TuningHistoryServer",
+    "archive_source",
+    "canonical_payload",
+    "content_fingerprint",
+    "group_by_task",
+    "make_server",
+    "nearest_tasks",
+    "serve",
+    "source_data_from_records",
+]

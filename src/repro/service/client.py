@@ -1,0 +1,172 @@
+"""HTTP client for the tuning-history service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` speaks the wire format of
+:mod:`repro.service.server` and deliberately duck-types the
+:class:`~repro.core.history.HistoryDB` archive interface —
+``records(problem)``, ``append(problem, records)``, ``count(problem)``,
+``problems()`` — so a remote campaign crowd-tunes against the shared
+database by passing a client wherever a history archive is accepted::
+
+    client = ServiceClient("http://tuner-hub:8577")
+    GPTune(problem, options, history=client).tune(tasks, n_samples=20)
+
+Appends are plain by default (the server's shard locks serialize
+concurrent writers without loss).  For read-modify-write flows,
+:meth:`append` accepts the etag from a previous read as ``if_match`` and
+raises :class:`StaleEtagError` when the shard moved underneath — the
+optimistic-concurrency loop is then: re-read, reconcile, retry.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ServiceClient", "ServiceError", "StaleEtagError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+
+
+class StaleEtagError(ServiceError):
+    """An ``If-Match`` append hit a shard that changed since it was read."""
+
+    def __init__(self, message: str, etag: Optional[str]):
+        super().__init__(412, message)
+        self.etag = etag
+
+
+class ServiceClient:
+    """Client for one tuning-history service.
+
+    Parameters
+    ----------
+    base_url:
+        Service root, e.g. ``"http://127.0.0.1:8577"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- wire plumbing -------------------------------------------------------
+    def _url(self, verb: str, problem: Optional[str] = None) -> str:
+        url = f"{self.base_url}/v1/{verb}"
+        if problem is not None:
+            url += "/" + urllib.parse.quote(problem, safe="")
+        return url
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        body: Optional[Mapping[str, Any]] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(url, data=data, method=method)
+        req.add_header("Accept", "application/json")
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        for k, v in (headers or {}).items():
+            req.add_header(k, v)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read()
+                status = resp.status
+                hdrs = {k.lower(): v for k, v in resp.headers.items()}
+        except urllib.error.HTTPError as e:
+            raw = e.read()
+            status = e.code
+            hdrs = {k.lower(): v for k, v in (e.headers or {}).items()}
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return status, payload, hdrs
+
+    @staticmethod
+    def _check(status: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if status == 412:
+            raise StaleEtagError(
+                payload.get("error", "etag mismatch"), payload.get("etag")
+            )
+        if status >= 400:
+            raise ServiceError(status, payload.get("error", "request failed"))
+        return payload
+
+    # -- archive interface (HistoryDB-compatible) ---------------------------
+    def problems(self) -> List[str]:
+        """Archived problem names."""
+        _, payload, _ = self._request("GET", self._url("problems"))
+        return list(self._check(200, payload)["problems"])
+
+    def records(self, problem: str, etag: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All records of one problem (with rids, so re-pushes deduplicate).
+
+        Passing a previously seen ``etag`` turns the read conditional: an
+        unchanged shard answers ``304`` and this returns ``None`` so the
+        caller keeps its cached copy.
+        """
+        headers = {"If-None-Match": f'"{etag}"'} if etag else None
+        status, payload, _ = self._request(
+            "GET", self._url("records", problem), headers=headers
+        )
+        if status == 304:
+            return None  # type: ignore[return-value] - documented sentinel
+        return list(self._check(status, payload)["records"])
+
+    def count(self, problem: str) -> int:
+        """Number of archived records for one problem."""
+        return int(self.stats()["problems"].get(problem, {}).get("count", 0))
+
+    def append(
+        self,
+        problem: str,
+        records: Sequence[Mapping[str, Any]],
+        if_match: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Append records; returns ``{"appended", "rids", "etag"}``.
+
+        With ``if_match`` set, raises :class:`StaleEtagError` if the shard's
+        etag no longer matches (another campaign wrote in between).
+        """
+        headers = {"If-Match": f'"{if_match}"'} if if_match else None
+        status, payload, _ = self._request(
+            "POST", self._url("records", problem),
+            body={"records": [dict(r) for r in records]}, headers=headers,
+        )
+        return self._check(status, payload)
+
+    # -- service extras ------------------------------------------------------
+    def etag(self, problem: str) -> str:
+        """Current shard version token."""
+        return str(self.stats()["problems"].get(problem, {}).get("etag", "empty"))
+
+    def query(self, problem: str, task: Mapping[str, Any], k: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Nearest archived tasks: ``[{"task", "distance", "records"}, ...]``."""
+        body: Dict[str, Any] = {"task": dict(task)}
+        if k is not None:
+            body["k"] = int(k)
+        status, payload, _ = self._request("POST", self._url("query", problem), body=body)
+        return list(self._check(status, payload)["matches"])
+
+    def compact(self, problem: str) -> Dict[str, int]:
+        """Ask the service to compact one shard."""
+        status, payload, _ = self._request("POST", self._url("compact", problem), body={})
+        return self._check(status, payload)
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-wide summary (counts, etags, byte sizes)."""
+        status, payload, _ = self._request("GET", self._url("stats"))
+        return self._check(status, payload)

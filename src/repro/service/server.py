@@ -1,0 +1,238 @@
+"""Crowd-tuning HTTP server: one shared tuning archive, many campaigns.
+
+A deliberately dependency-free (stdlib ``http.server``) JSON service in
+front of one :class:`~repro.service.store.ShardedStore`, so campaigns on
+other machines read and write the same archive through
+:class:`~repro.service.client.ServiceClient`.  Endpoints (all JSON):
+
+========  ============================  =========================================
+method    path                          meaning
+========  ============================  =========================================
+GET       ``/v1/stats``                 store-wide counts, etags, byte sizes
+GET       ``/v1/problems``              archived problem names
+GET       ``/v1/records/<problem>``     all records (+ rids); honors
+                                        ``If-None-Match`` → ``304 Not Modified``
+POST      ``/v1/records/<problem>``     append ``{"records": [...]}``; honors
+                                        ``If-Match`` → ``412`` on a stale etag
+POST      ``/v1/query/<problem>``       nearest-task lookup
+                                        ``{"task": {...}, "k": N}``
+POST      ``/v1/compact/<problem>``     compact one shard
+========  ============================  =========================================
+
+Every record response carries the shard's **ETag** — the content-defined
+version token of :meth:`~repro.service.store.ShardedStore.etag`.  A client
+that wants optimistic concurrency sends it back as ``If-Match`` on append:
+if another campaign appended in between, the server answers ``412
+Precondition Failed`` with the fresh etag and the client re-reads before
+retrying.  Plain appends (no ``If-Match``) always succeed — the store's
+advisory shard locks serialize them without loss, which is what cooperating
+crowd-tuning campaigns use.
+
+Requests are served by a :class:`http.server.ThreadingHTTPServer`; the store
+itself is the synchronization point (per-shard advisory file locks), so the
+server process can even share its store directory with local campaigns
+appending directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import unquote
+
+from .query import nearest_tasks
+from .store import ShardedStore
+
+__all__ = ["TuningHistoryServer", "make_server", "serve"]
+
+_MAX_BODY = 64 * 1024 * 1024  # refuse absurd payloads instead of OOMing
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a store via the server instance."""
+
+    server_version = "repro-tuning-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+    @property
+    def store(self) -> ShardedStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # pragma: no cover - silence stderr
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, payload: Dict[str, Any], etag: Optional[str] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", f'"{etag}"')
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, Optional[str]]:
+        parts = self.path.rstrip("/").split("?")[0].split("/")
+        # ['', 'v1', verb, problem?]
+        if len(parts) < 3 or parts[1] != "v1":
+            return "", None
+        verb = parts[2]
+        problem = unquote("/".join(parts[3:])) if len(parts) > 3 else None
+        return verb, problem
+
+    @staticmethod
+    def _header_etag(value: Optional[str]) -> Optional[str]:
+        return value.strip().strip('"') if value else None
+
+    # -- methods -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        verb, problem = self._route()
+        if verb == "stats" and problem is None:
+            self._reply(200, self.store.stats())
+        elif verb == "problems" and problem is None:
+            self._reply(200, {"problems": self.store.problems()})
+        elif verb == "records" and problem:
+            etag = self.store.etag(problem)
+            if self._header_etag(self.headers.get("If-None-Match")) == etag:
+                self._reply(304, {}, etag=etag)
+                return
+            self._reply(
+                200,
+                {"problem": problem, "records": self.store.records(problem, with_rid=True),
+                 "etag": etag},
+                etag=etag,
+            )
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        verb, problem = self._route()
+        try:
+            payload = self._body()
+        except ValueError as e:
+            self._error(400, str(e))
+            return
+        if verb == "records" and problem:
+            self._post_records(problem, payload)
+        elif verb == "query" and problem:
+            self._post_query(problem, payload)
+        elif verb == "compact" and problem:
+            self._reply(200, self.store.compact(problem))
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def _post_records(self, problem: str, payload: Dict[str, Any]) -> None:
+        records = payload.get("records")
+        if not isinstance(records, list):
+            self._error(400, 'body must be {"records": [...]}')
+            return
+        expected = self._header_etag(self.headers.get("If-Match"))
+        with self.server.append_mutex:  # type: ignore[attr-defined]
+            # the etag check and the append must be one unit, or two racing
+            # optimistic writers could both pass the check
+            if expected is not None:
+                current = self.store.etag(problem)
+                if current != expected:
+                    self._reply(
+                        412,
+                        {"error": "etag mismatch: shard changed since you read it",
+                         "etag": current},
+                        etag=current,
+                    )
+                    return
+            try:
+                written = self.store.append(problem, records)
+            except (ValueError, TypeError) as e:
+                self._error(400, f"bad record: {e}")
+                return
+            etag = self.store.etag(problem)
+        self._reply(200, {"appended": len(written), "rids": written, "etag": etag}, etag=etag)
+
+    def _post_query(self, problem: str, payload: Dict[str, Any]) -> None:
+        task = payload.get("task")
+        if not isinstance(task, dict):
+            self._error(400, 'body must be {"task": {...}, "k": N}')
+            return
+        k = payload.get("k")
+        records = self.store.records(problem, with_rid=True)
+        near = nearest_tasks(records, task, k=int(k) if k is not None else None)
+        self._reply(
+            200,
+            {
+                "problem": problem,
+                "matches": [
+                    {"task": t, "distance": d, "records": recs} for t, recs, d in near
+                ],
+                "etag": self.store.etag(problem),
+            },
+        )
+
+
+class TuningHistoryServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning one :class:`ShardedStore`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: ShardedStore,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.store = store
+        self.verbose = verbose
+        self.append_mutex = threading.Lock()
+
+
+def make_server(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    on_event: Optional[Callable[[str, str], Any]] = None,
+    verbose: bool = False,
+) -> TuningHistoryServer:
+    """Build a service over the store at ``root`` (``port=0`` = ephemeral).
+
+    The caller drives the returned server (``serve_forever`` /
+    ``handle_request`` / ``shutdown``); its bound port is
+    ``server.server_address[1]``.
+    """
+    store = ShardedStore(root, on_event=on_event)
+    return TuningHistoryServer((host, port), store, verbose=verbose)
+
+
+def serve(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 8577,
+    verbose: bool = True,
+) -> None:  # pragma: no cover - blocking entry point, exercised via CLI tests
+    """Run the service until interrupted (the ``repro serve`` verb)."""
+    server = make_server(root, host, port, verbose=verbose)
+    bound = server.server_address
+    print(f"tuning-history service on http://{bound[0]}:{bound[1]} (store: {root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

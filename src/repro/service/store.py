@@ -1,0 +1,422 @@
+"""Sharded append-only storage engine for the shared tuning-history service.
+
+The north-star asks for a tuning archive that many concurrent campaigns —
+processes on one node or clients behind the HTTP service — can read and
+write safely.  :class:`~repro.core.history.HistoryDB`'s original format (one
+JSON object rewritten wholesale on every save) cannot do that: two writers
+lose each other's records and every append costs O(total records).
+
+:class:`ShardedStore` replaces it with a directory of per-problem **shards**:
+
+* each problem's records live in one append-only JSONL file (``<slug>.jsonl``,
+  one JSON record per line) — an append writes only the new lines;
+* writers take an **advisory exclusive lock** on a per-shard ``.lock`` file
+  (``fcntl.flock``, with an ``O_EXCL`` spin-lock fallback on platforms
+  without it), so concurrent appends from any number of processes serialize
+  without losing records;
+* every record carries a unique ``rid`` (record id).  Records pushed *with*
+  an existing rid — e.g. a crowd-tuning client syncing an archive it pulled
+  earlier — are deduplicated; records appended without one get a fresh rid,
+  so legitimately repeated evaluations of the same configuration are kept;
+* a torn trailing line from a crashed writer is skipped on read and dropped
+  by :meth:`compact`, which rewrites a shard crash-safely (temp file in the
+  same directory + ``os.replace``) while holding the shard lock;
+* :meth:`etag` returns a content-defined version token (a hash over the
+  shard's rid set) that changes on every append and is *stable across
+  compaction* — the HTTP service uses it for conditional GETs and
+  optimistic-concurrency PUTs.
+
+:func:`content_fingerprint` hashes a record's payload (task, x, y) only; it
+keys the surrogate-model cache (:mod:`repro.service.modelcache`), where two
+campaigns holding the same evaluations should hit the same cache entry
+regardless of rids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["ShardedStore", "ShardLock", "content_fingerprint", "canonical_payload"]
+
+try:  # POSIX advisory locking; Windows lacks fcntl
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None
+
+_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+_PAYLOAD_KEYS = ("task", "x", "y")
+
+
+def _slug(problem: str) -> str:
+    """Reversible filesystem-safe encoding of a problem name."""
+    out = []
+    for ch in problem:
+        if ch in _SAFE and ch != "%":
+            out.append(ch)
+        else:
+            out.append("%" + format(ord(ch), "04x"))
+    return "".join(out) or "%0000"
+
+
+def _unslug(slug: str) -> str:
+    out, i = [], 0
+    while i < len(slug):
+        if slug[i] == "%":
+            out.append(chr(int(slug[i + 1 : i + 5], 16)))
+            i += 5
+        else:
+            out.append(slug[i])
+            i += 1
+    return "".join(out)
+
+
+def canonical_payload(record: Mapping[str, Any]) -> str:
+    """Canonical JSON of a record's (task, x, y) payload.
+
+    Sorted keys and fixed float formatting make the encoding independent of
+    dict insertion order, so equal payloads hash equally everywhere.
+    """
+    payload = {
+        "task": {str(k): v for k, v in record["task"].items()},
+        "x": {str(k): v for k, v in record["x"].items()},
+        "y": [float(v) for v in record["y"]],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_fingerprint(record: Mapping[str, Any]) -> str:
+    """Content hash of one record's payload (rid-independent)."""
+    return hashlib.sha1(canonical_payload(record).encode("utf-8")).hexdigest()
+
+
+class ShardLock:
+    """Advisory exclusive lock on a shard's sidecar ``.lock`` file.
+
+    The lock file is separate from the data file because :meth:`ShardedStore.compact`
+    replaces the data file via ``os.replace`` — a lock held on the replaced
+    inode would silently stop excluding later writers.
+
+    Uses ``fcntl.flock`` where available; elsewhere falls back to an
+    ``O_CREAT | O_EXCL`` spin lock with a stale-lock timeout.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0, poll: float = 0.005):
+        self.path = path
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> None:
+        """Block until the lock is held (non-reentrant)."""
+        if self._fd is not None:
+            raise RuntimeError("lock is not reentrant")
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            self._fd = fd
+            return
+        deadline = time.monotonic() + self.timeout  # pragma: no cover - off-POSIX
+        while True:  # pragma: no cover
+            try:
+                self._fd = os.open(self.path + ".x", os.O_CREAT | os.O_EXCL | os.O_RDWR)
+                return
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(f"could not lock {self.path}")
+                time.sleep(self.poll)
+
+    def release(self) -> None:
+        """Drop the lock; a no-op when it is not held."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - off-POSIX
+            os.close(fd)
+            os.unlink(self.path + ".x")
+
+    def __enter__(self) -> "ShardLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _ShardState:
+    """Per-shard read cache: byte offset consumed so far and known rids."""
+
+    def __init__(self):
+        self.offset = 0
+        self.rids: Set[str] = set()
+
+
+class ShardedStore:
+    """Directory of per-problem append-only JSONL shards.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shards; created on first use.
+    on_event:
+        Optional ``callback(kind, detail)`` — e.g.
+        :meth:`repro.runtime.trace.CampaignLog.record` — receiving service
+        lifecycle events (``"service-append"``, ``"service-compact"``,
+        ``"service-torn-line"``).
+    """
+
+    def __init__(self, root: str, on_event: Optional[Callable[[str, str], Any]] = None):
+        self.root = str(root)
+        self.on_event = on_event
+        self._shards: Dict[str, _ShardState] = {}
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+    def shard_path(self, problem: str) -> str:
+        """Data file of one problem's shard."""
+        return os.path.join(self.root, _slug(problem) + ".jsonl")
+
+    def _lock(self, problem: str) -> ShardLock:
+        return ShardLock(os.path.join(self.root, _slug(problem) + ".lock"))
+
+    def _emit(self, kind: str, detail: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
+
+    # -- queries -------------------------------------------------------------
+    def problems(self) -> List[str]:
+        """Problem names with a (possibly empty) shard on disk."""
+        names = []
+        for fname in os.listdir(self.root):
+            if fname.endswith(".jsonl") and not fname.endswith(".compacting.jsonl"):
+                names.append(_unslug(fname[: -len(".jsonl")]))
+        return sorted(names)
+
+    def records(self, problem: str, with_rid: bool = False) -> List[Dict[str, Any]]:
+        """All valid records of one problem, in append order.
+
+        ``with_rid=True`` keeps each record's ``rid`` key (needed to sync an
+        archive into another store without duplicating it).
+        """
+        out = []
+        for rec in self._read_all(problem):
+            if not with_rid:
+                rec = {k: rec[k] for k in _PAYLOAD_KEYS}
+            out.append(rec)
+        return out
+
+    def count(self, problem: str) -> int:
+        """Number of valid records in one shard."""
+        return len(self._read_all(problem))
+
+    def etag(self, problem: str) -> str:
+        """Content-defined shard version: hash of the sorted rid set.
+
+        Changes whenever a record is added or removed; unchanged by
+        compaction (which preserves the rid set).  An empty shard's etag is
+        the fixed token ``"empty"``.
+        """
+        self._refresh(problem)
+        rids = self._shards[problem].rids
+        if not rids:
+            return "empty"
+        h = hashlib.sha1()
+        for rid in sorted(rids):
+            h.update(rid.encode("ascii"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-wide summary: per-problem counts, etags, and disk bytes."""
+        per: Dict[str, Any] = {}
+        total = 0
+        for name in self.problems():
+            n = self.count(name)
+            total += n
+            path = self.shard_path(name)
+            per[name] = {
+                "count": n,
+                "etag": self.etag(name),
+                "bytes": os.path.getsize(path) if os.path.exists(path) else 0,
+            }
+        return {"root": self.root, "n_records": total, "problems": per}
+
+    # -- updates -------------------------------------------------------------
+    def append(self, problem: str, records: Sequence[Mapping[str, Any]]) -> List[str]:
+        """Append records to one shard; returns the rids actually written.
+
+        Records lacking a ``rid`` get a fresh unique one (repeated payloads
+        are kept — re-measuring a configuration is legitimate).  Records
+        carrying a ``rid`` already present in the shard are skipped, making
+        archive syncs idempotent.  The write is one ``write`` + ``fsync`` of
+        complete lines under the shard's exclusive lock, so concurrent
+        appends interleave without tearing each other.
+        """
+        prepared = []
+        for rec in records:
+            if not {"task", "x", "y"} <= set(rec):
+                raise ValueError(f"malformed record {rec!r}")
+            row = {
+                "task": dict(rec["task"]),
+                "x": dict(rec["x"]),
+                "y": [float(v) for v in rec["y"]],
+            }
+            rid = rec.get("rid")
+            row["rid"] = str(rid) if rid else uuid.uuid4().hex
+            prepared.append(row)
+        if not prepared:
+            return []
+        path = self.shard_path(problem)
+        written: List[str] = []
+        with self._lock(problem):
+            self._refresh_locked(problem)
+            state = self._shards[problem]
+            lines = []
+            for row in prepared:
+                if row["rid"] in state.rids:
+                    continue
+                state.rids.add(row["rid"])
+                written.append(row["rid"])
+                lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+            if not written:
+                return []
+            blob = "\n".join(lines) + "\n"
+            # a crashed writer may have left a torn, unterminated last line;
+            # starting on a fresh line quarantines it for compaction to drop
+            if state.offset > 0 and not self._ends_with_newline(path):
+                blob = "\n" + blob
+            fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, blob.encode("utf-8"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            state.offset = os.path.getsize(path)
+        self._emit("service-append", f"{problem}: +{len(written)} record(s)")
+        return written
+
+    def clear(self, problem: str) -> None:
+        """Drop one problem's shard entirely."""
+        with self._lock(problem):
+            try:
+                os.unlink(self.shard_path(problem))
+            except FileNotFoundError:
+                pass
+            self._shards.pop(problem, None)
+
+    def compact(self, problem: str) -> Dict[str, int]:
+        """Rewrite one shard: drop torn lines and duplicate rids.
+
+        Crash-safe: the compacted content goes to a temp file in the shard
+        directory, is fsynced, and replaces the shard atomically — a crash
+        at any point leaves either the old or the new complete file.  Runs
+        under the shard lock, so concurrent appends wait rather than vanish.
+        """
+        path = self.shard_path(problem)
+        with self._lock(problem):
+            rows, torn = self._parse(path)
+            seen: Set[str] = set()
+            kept = []
+            for row in rows:
+                if row["rid"] in seen:
+                    continue
+                seen.add(row["rid"])
+                kept.append(row)
+            tmp = path + ".compacting"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for row in kept:
+                    fh.write(json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            state = _ShardState()
+            state.offset = os.path.getsize(path)
+            state.rids = seen
+            self._shards[problem] = state
+        dropped = len(rows) - len(kept)
+        self._emit(
+            "service-compact",
+            f"{problem}: {len(kept)} record(s) kept, {dropped} duplicate(s), "
+            f"{torn} torn line(s) dropped",
+        )
+        return {"kept": len(kept), "duplicates": dropped, "torn": torn}
+
+    # -- shard IO ------------------------------------------------------------
+    @staticmethod
+    def _ends_with_newline(path: str) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) == b"\n"
+        except (OSError, ValueError):
+            return True  # empty or missing file needs no separator
+
+    def _parse(self, path: str) -> Tuple[List[Dict[str, Any]], int]:
+        """All parseable rows of a shard file plus the count of torn lines."""
+        if not os.path.exists(path):
+            return [], 0
+        rows, torn = [], 0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    if not isinstance(row, dict) or not {"task", "x", "y", "rid"} <= set(row):
+                        raise ValueError("not a record")
+                except ValueError:
+                    torn += 1
+                    continue
+                rows.append(row)
+        if torn:
+            self._emit("service-torn-line", f"{path}: {torn} unparseable line(s) skipped")
+        return rows, torn
+
+    def _read_all(self, problem: str) -> List[Dict[str, Any]]:
+        rows, _ = self._parse(self.shard_path(problem))
+        self._refresh(problem)  # keep the rid cache warm for etag/append
+        return rows
+
+    def _refresh(self, problem: str) -> None:
+        with self._lock(problem):
+            self._refresh_locked(problem)
+
+    def _refresh_locked(self, problem: str) -> None:
+        """Absorb shard bytes written since our cached offset (lock held).
+
+        Compaction (ours or another process's) can shrink the file or
+        rewrite history; a shrink invalidates the offset cache, so the shard
+        is re-read from the start.
+        """
+        path = self.shard_path(problem)
+        state = self._shards.setdefault(problem, _ShardState())
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        if size < state.offset:
+            state.offset, state.rids = 0, set()
+        if size == state.offset:
+            return
+        with open(path, "rb") as fh:
+            fh.seek(state.offset)
+            tail = fh.read()
+        # only complete (newline-terminated) lines advance the offset; a
+        # torn tail is re-examined on the next refresh
+        complete = tail.rfind(b"\n") + 1
+        for line in tail[:complete].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line.decode("utf-8"))
+                rid = row["rid"]
+            except (ValueError, TypeError, KeyError):
+                continue
+            state.rids.add(str(rid))
+        state.offset += complete

@@ -36,6 +36,12 @@ class TestExamples:
         assert "run 1" in out and "run 2" in out
         assert "came from the archive" in out
 
+    def test_crowd_tuning(self, capsys):
+        out = _run("crowd_tuning.py", capsys)
+        assert "user A archived" in out
+        assert "user B raised the archive" in out
+        assert "transferred config" in out
+
     def test_all_examples_importable(self):
         """Every example compiles (catches syntax/import drift cheaply)."""
         import py_compile

@@ -1,0 +1,183 @@
+"""Tests for the crowd-tuning HTTP service (server + client) and the
+acceptance scenario: two concurrent GPTune campaigns sharing one archive
+through the service, with no lost or corrupted records."""
+
+import json
+import threading
+
+import pytest
+
+from repro.apps.analytical import AnalyticalApp
+from repro.core import GPTune, Options
+from repro.service import ServiceClient, ShardedStore
+from repro.service.client import ServiceError, StaleEtagError
+from repro.service.server import make_server
+
+REC = {"task": {"m": 10}, "x": {"b": 4}, "y": [1.5]}
+REC2 = {"task": {"m": 20}, "x": {"b": 8}, "y": [2.5]}
+
+
+@pytest.fixture
+def service(tmp_path):
+    server = make_server(str(tmp_path / "db"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), server.store
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestRoundTrips:
+    def test_empty_store(self, service):
+        client, _ = service
+        assert client.problems() == []
+        assert client.records("qr") == []
+        assert client.count("qr") == 0
+        assert client.etag("qr") == "empty"
+
+    def test_append_and_read_back(self, service):
+        client, store = service
+        out = client.append("qr", [REC, REC2])
+        assert out["appended"] == 2
+        assert len(out["rids"]) == 2
+        got = client.records("qr")
+        assert [r["y"] for r in got] == [[1.5], [2.5]]
+        assert all("rid" in r for r in got)
+        # the client write is visible to direct store readers and vice versa
+        assert store.count("qr") == 2
+        assert client.problems() == ["qr"]
+
+    def test_rid_push_is_idempotent_over_the_wire(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        synced = client.records("qr")
+        out = client.append("qr", synced)  # replay with rids: deduplicated
+        assert out["appended"] == 0
+        assert client.count("qr") == 1
+
+    def test_conditional_get_304(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        etag = client.etag("qr")
+        assert client.records("qr", etag=etag) is None  # 304: keep cache
+        client.append("qr", [REC2])
+        fresh = client.records("qr", etag=etag)  # shard moved: full body
+        assert len(fresh) == 2
+
+    def test_if_match_append_succeeds_on_current_etag(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        out = client.append("qr", [REC2], if_match=client.etag("qr"))
+        assert out["appended"] == 1
+
+    def test_stale_etag_rejected_with_412(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        stale = client.etag("qr")
+        client.append("qr", [REC2])  # another campaign writes in between
+        with pytest.raises(StaleEtagError) as err:
+            client.append("qr", [REC], if_match=stale)
+        assert err.value.status == 412
+        assert err.value.etag == client.etag("qr")
+        assert client.count("qr") == 2  # rejected append wrote nothing
+
+    def test_query_endpoint(self, service):
+        client, _ = service
+        client.append("qr", [REC, REC2])
+        matches = client.query("qr", {"m": 18}, k=1)
+        assert len(matches) == 1
+        assert matches[0]["task"] == {"m": 20}
+        assert [r["y"] for r in matches[0]["records"]] == [[2.5]]
+
+    def test_compact_endpoint(self, service):
+        client, _ = service
+        client.append("qr", [REC, REC2])
+        assert client.compact("qr") == {"kept": 2, "duplicates": 0, "torn": 0}
+
+    def test_stats(self, service):
+        client, _ = service
+        client.append("a", [REC])
+        client.append("b", [REC, REC2])
+        stats = client.stats()
+        assert stats["n_records"] == 3
+        assert stats["problems"]["b"]["count"] == 2
+
+    def test_unknown_endpoint_404(self, service):
+        client, _ = service
+        status, payload, _ = client._request("GET", client.base_url + "/v1/nope")
+        assert status == 404
+        with pytest.raises(ServiceError):
+            client._check(status, payload)
+
+    def test_malformed_record_400(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.append("qr", [{"task": {}, "x": {}}])  # no y
+        assert err.value.status == 400
+        assert client.count("qr") == 0
+
+
+class TestCrowdTuning:
+    """Acceptance: concurrent campaigns share one archive via the service."""
+
+    def test_two_concurrent_campaigns_lose_nothing(self, service, tmp_path):
+        client, store = service
+        problem = AnalyticalApp(seed=0).problem()
+        budget = 6
+        results, errors = {}, []
+
+        def campaign(name, task, seed):
+            try:
+                tuner = GPTune(
+                    problem,
+                    Options(seed=seed, n_start=2),
+                    history=ServiceClient(client.base_url),
+                )
+                results[name] = tuner.tune([task], budget)
+            except Exception as e:  # pragma: no cover - failure reporting
+                errors.append((name, e))
+
+        threads = [
+            threading.Thread(target=campaign, args=("a", {"t": 2.0}, 0)),
+            threading.Thread(target=campaign, args=("b", {"t": 4.0}, 1)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert errors == []
+
+        # every evaluation of both campaigns landed in the shared archive
+        archived = client.records(problem.name)
+        assert len(archived) == 2 * budget
+        rids = [r["rid"] for r in archived]
+        assert len(set(rids)) == len(rids)
+        archived_ys = {r["y"][0] for r in archived}
+        for name in ("a", "b"):
+            res = results[name]
+            for y in res.data.Y[0]:
+                assert float(y[0]) in archived_ys
+
+        # and the shard is clean: every line parses, compaction finds no junk
+        with open(store.shard_path(problem.name), encoding="utf-8") as fh:
+            for line in fh:
+                json.loads(line)
+        assert client.compact(problem.name)["kept"] == 2 * budget
+
+    def test_campaign_resumes_from_service_archive(self, service):
+        client, _ = service
+        problem = AnalyticalApp(seed=0).problem()
+        GPTune(problem, Options(seed=0, n_start=2), history=client).tune(
+            [{"t": 2.0}], 4
+        )
+        # a later campaign on the same task reuses archived evaluations
+        # toward its budget instead of re-running them
+        res = GPTune(problem, Options(seed=1, n_start=2), history=client).tune(
+            [{"t": 2.0}], 6
+        )
+        assert len(res.data.X[0]) == 6
+        assert client.count(problem.name) == 6  # 4 archived + 2 fresh

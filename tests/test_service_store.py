@@ -1,0 +1,199 @@
+"""Unit tests for the sharded tuning-history store (repro.service.store)
+and the HistoryDB back-compat shim routed through it."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import HistoryDB
+from repro.service import ShardedStore, canonical_payload, content_fingerprint
+
+REC = {"task": {"m": 10}, "x": {"b": 4}, "y": [1.5]}
+REC2 = {"task": {"m": 20}, "x": {"b": 8}, "y": [2.5]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ShardedStore(str(tmp_path / "db"))
+
+
+class TestShardedStore:
+    def test_empty(self, store):
+        assert store.problems() == []
+        assert store.records("p") == []
+        assert store.count("p") == 0
+        assert store.etag("p") == "empty"
+
+    def test_append_and_read(self, store):
+        rids = store.append("qr", [REC, REC2])
+        assert len(rids) == 2
+        assert store.count("qr") == 2
+        assert store.records("qr") == [
+            {"task": {"m": 10}, "x": {"b": 4}, "y": [1.5]},
+            {"task": {"m": 20}, "x": {"b": 8}, "y": [2.5]},
+        ]
+
+    def test_repeated_payloads_are_kept(self, store):
+        # re-measuring the same configuration is legitimate data
+        store.append("qr", [REC, REC])
+        store.append("qr", [REC])
+        assert store.count("qr") == 3
+
+    def test_rid_push_is_idempotent(self, store):
+        store.append("qr", [REC, REC2])
+        synced = store.records("qr", with_rid=True)
+        assert store.append("qr", synced) == []  # nothing new
+        assert store.count("qr") == 2
+
+    def test_append_is_append_only(self, store):
+        store.append("qr", [REC])
+        before = open(store.shard_path("qr"), "rb").read()
+        store.append("qr", [REC2])
+        after = open(store.shard_path("qr"), "rb").read()
+        assert after.startswith(before)  # old bytes never rewritten
+
+    def test_malformed_record_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.append("qr", [{"task": {}, "x": {}}])  # no y
+
+    def test_torn_trailing_line_skipped_and_survived(self, store):
+        store.append("qr", [REC])
+        with open(store.shard_path("qr"), "a", encoding="utf-8") as fh:
+            fh.write('{"task": {"m"')  # crashed writer mid-line
+        assert store.count("qr") == 1
+        store.append("qr", [REC2])  # lands on a fresh line
+        assert store.count("qr") == 2
+
+    def test_compact_drops_torn_and_duplicate_lines(self, store):
+        store.append("qr", [REC, REC2])
+        path = store.shard_path("qr")
+        with open(path, "a", encoding="utf-8") as fh:
+            # a duplicated rid line (e.g. replayed append) and a torn line
+            first = open(path, encoding="utf-8").readline()
+            fh.write(first)
+            fh.write('{"task": {"m"')
+        stats = store.compact("qr")
+        assert stats == {"kept": 2, "duplicates": 1, "torn": 1}
+        assert store.count("qr") == 2
+
+    def test_etag_changes_on_append_stable_across_compaction(self, store):
+        store.append("qr", [REC])
+        e1 = store.etag("qr")
+        store.append("qr", [REC2])
+        e2 = store.etag("qr")
+        assert e1 != e2
+        store.compact("qr")
+        assert store.etag("qr") == e2
+
+    def test_etag_visible_across_instances(self, store):
+        store.append("qr", [REC])
+        other = ShardedStore(store.root)
+        assert other.etag("qr") == store.etag("qr")
+        other.append("qr", [REC2])
+        assert store.etag("qr") == other.etag("qr")  # refreshes from disk
+
+    def test_clear(self, store):
+        store.append("qr", [REC])
+        store.clear("qr")
+        assert store.count("qr") == 0
+        store.clear("never-existed")  # no error
+
+    def test_problem_names_roundtrip_through_slugs(self, store):
+        weird = "qr / sub:problem %x"
+        store.append(weird, [REC])
+        assert store.problems() == [weird]
+        assert store.count(weird) == 1
+
+    def test_stats(self, store):
+        store.append("a", [REC])
+        store.append("b", [REC, REC2])
+        s = store.stats()
+        assert s["n_records"] == 3
+        assert s["problems"]["b"]["count"] == 2
+        assert s["problems"]["a"]["etag"] == store.etag("a")
+
+    def test_events_emitted(self, tmp_path):
+        events = []
+        store = ShardedStore(str(tmp_path / "db"), on_event=lambda k, d: events.append(k))
+        store.append("qr", [REC])
+        store.compact("qr")
+        assert "service-append" in events
+        assert "service-compact" in events
+
+
+class TestFingerprints:
+    def test_content_fingerprint_ignores_key_order(self):
+        a = {"task": {"m": 10, "n": 3}, "x": {"b": 4}, "y": [1.5]}
+        b = {"task": {"n": 3, "m": 10}, "x": {"b": 4}, "y": [1.5]}
+        assert content_fingerprint(a) == content_fingerprint(b)
+
+    def test_content_fingerprint_ignores_rid(self):
+        assert content_fingerprint({**REC, "rid": "zzz"}) == content_fingerprint(REC)
+
+    def test_payload_differences_change_fingerprint(self):
+        assert content_fingerprint(REC) != content_fingerprint(REC2)
+
+    def test_canonical_payload_is_json(self):
+        payload = json.loads(canonical_payload(REC))
+        assert payload["y"] == [1.5]
+
+
+class TestHistoryDBShim:
+    """The public HistoryDB API rides on the sharded store."""
+
+    def test_append_does_not_rewrite_legacy_json(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"qr": [REC]}))
+        db = HistoryDB(str(path))
+        legacy_bytes = path.read_bytes()
+        db.append("qr", [REC2])
+        assert path.read_bytes() == legacy_bytes  # import path, not write path
+        assert db.count("qr") == 2
+
+    def test_append_only_writes_new_lines(self, tmp_path):
+        db = HistoryDB(str(tmp_path / "h.json"))
+        db.append("qr", [REC])
+        shard = db.store.shard_path("qr")
+        before = os.path.getsize(shard)
+        db.append("qr", [REC2])
+        after = os.path.getsize(shard)
+        assert 0 < after - before < 200  # one record's line, not a full rewrite
+
+    def test_legacy_import_is_idempotent(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"qr": [REC, REC]}))
+        assert HistoryDB(str(path)).count("qr") == 2
+        assert HistoryDB(str(path)).count("qr") == 2  # reopen: no duplication
+
+    def test_legacy_plus_new_records_coexist(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"qr": [REC]}))
+        db = HistoryDB(str(path))
+        db.append("qr", [REC2])
+        reopened = HistoryDB(str(path))
+        assert reopened.count("qr") == 2
+
+    def test_export_json_writes_legacy_view(self, tmp_path):
+        db = HistoryDB(str(tmp_path / "h.json"))
+        db.append("qr", [REC, REC2])
+        out = db.export_json(str(tmp_path / "export.json"))
+        dumped = json.loads(open(out, encoding="utf-8").read())
+        assert [r["y"] for r in dumped["qr"]] == [[1.5], [2.5]]
+
+    def test_compact(self, tmp_path):
+        db = HistoryDB(str(tmp_path / "h.json"))
+        db.append("qr", [REC])
+        db.compact()
+        assert db.count("qr") == 1
+
+    def test_concurrent_instances_share_one_archive(self, tmp_path):
+        # the failure mode of the old whole-store rewrite: two open handles
+        # each flushing their own snapshot lost each other's appends
+        a = HistoryDB(str(tmp_path / "h.json"))
+        b = HistoryDB(str(tmp_path / "h.json"))
+        a.append("qr", [REC])
+        b.append("qr", [REC2])
+        a.append("qr", [REC])
+        assert a.count("qr") == 3
+        assert b.count("qr") == 3
