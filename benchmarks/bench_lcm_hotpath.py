@@ -1,0 +1,248 @@
+"""Micro-benchmarks and regression gates for the LCM modeling hot path.
+
+Times the three operations that dominate GPTune's tuner overhead — one
+likelihood+gradient evaluation, one full ``fit``, and batched ``predict`` —
+at several sample counts, comparing the vectorized fast path against the
+retained loop-based reference implementation
+(:meth:`repro.core.lcm.LCM._nll_and_grad_reference`).  Results are printed
+as a table and dumped to ``BENCH_lcm.json``.
+
+``--check`` runs the deterministic CI gates (wall-clock numbers stay
+informational, so the job cannot be flaky):
+
+* **equivalence** — the vectorized nll/grad must match the reference within
+  1e-8 (nll) / 1e-6 (grad ∞-norm) on randomized (δ, β, Q, θ) cases;
+* **warm-refit accounting** — a 20-iteration single-objective campaign with
+  ``refit_warm_start`` + ``refit_interval=2`` must spend strictly fewer
+  L-BFGS multi-starts than the cold baseline (counted from the campaign
+  log's ``model-fit`` events) while reaching an incumbent no worse than 5%
+  above the cold run's.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_lcm_hotpath.py            # full timings
+    PYTHONPATH=src python benchmarks/bench_lcm_hotpath.py --check    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import GPTune, Options, Real, Space, TuningProblem
+from repro.core.kernels import pairwise_sq_diffs
+from repro.core.lcm import LCM
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "BENCH_lcm.json"
+)
+
+#: the acceptance-point shape: N=400 stacked samples, δ=4 tasks, β=6 dims
+DELTA, BETA, Q = 4, 6, 3
+
+#: randomized shapes for the equivalence gate: (δ, β, Q, N)
+EQUIV_CASES = [(2, 2, 2, 24), (3, 4, 2, 30), (4, 6, 3, 40), (1, 3, 1, 16), (5, 5, 3, 36)]
+
+
+def _synthetic(rng, n, delta=DELTA, beta=BETA):
+    X = rng.random((n, beta))
+    tidx = np.sort(rng.integers(0, delta, n))
+    y = np.sin(3.0 * X[:, 0]) + 0.3 * tidx + 0.05 * rng.normal(size=n)
+    return X, y, tidx
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_nll_grad(sizes, repeats):
+    """Single nll+grad evaluation: fast path vs reference, per N."""
+    rng = np.random.default_rng(0)
+    out = {}
+    for n in sizes:
+        X, y, tidx = _synthetic(rng, n)
+        sqd = pairwise_sq_diffs(X)
+        m = LCM(DELTA, BETA, n_latent=Q, seed=0)
+        theta = m._initial_theta(y, restart=1)
+        m._nll_and_grad(theta, sqd, y, tidx)  # warm the workspace
+        t_fast = _best_of(lambda: m._nll_and_grad(theta, sqd, y, tidx), repeats)
+        t_ref = _best_of(
+            lambda: m._nll_and_grad_reference(theta, sqd, y, tidx), max(2, repeats // 2)
+        )
+        out[str(n)] = {
+            "fast_s": t_fast,
+            "reference_s": t_ref,
+            "speedup": t_ref / t_fast if t_fast > 0 else float("inf"),
+        }
+        print(f"  nll+grad N={n:<4} fast {t_fast*1e3:8.2f} ms   "
+              f"ref {t_ref*1e3:8.2f} ms   speedup {t_ref/t_fast:5.2f}x")
+    return out
+
+
+def bench_fit(sizes):
+    """One full fit (n_start=1, capped iterations) per N."""
+    rng = np.random.default_rng(1)
+    out = {}
+    for n in sizes:
+        X, y, tidx = _synthetic(rng, n)
+        m = LCM(DELTA, BETA, n_latent=Q, seed=0, n_start=1, maxiter=30)
+        t0 = time.perf_counter()
+        m.fit(X, y, tidx)
+        out[str(n)] = {"fit_s": time.perf_counter() - t0}
+        print(f"  fit      N={n:<4} {out[str(n)]['fit_s']*1e3:8.2f} ms")
+    return out
+
+
+def bench_predict(n, batch, calls):
+    """Batched predict throughput, with and without the weight cache."""
+    rng = np.random.default_rng(2)
+    X, y, tidx = _synthetic(rng, n)
+    m = LCM(DELTA, BETA, n_latent=Q, seed=0, n_start=1, maxiter=30).fit(X, y, tidx)
+    Xstar = rng.random((batch, BETA))
+    m.predict(0, Xstar)  # populate the cache
+
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        m.predict(0, Xstar)
+    t_cached = (time.perf_counter() - t0) / calls
+
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        m._pred_cache.clear()
+        m.predict(0, Xstar)
+    t_cold = (time.perf_counter() - t0) / calls
+    print(f"  predict  N={n} batch={batch}: cached {t_cached*1e6:7.1f} us/call   "
+          f"cold {t_cold*1e6:7.1f} us/call")
+    return {
+        "n": n,
+        "batch": batch,
+        "cached_s_per_call": t_cached,
+        "uncached_s_per_call": t_cold,
+    }
+
+
+def check_equivalence():
+    """Gate: fast path ≡ reference within 1e-8 (nll) / 1e-6 (grad ∞-norm)."""
+    rng = np.random.default_rng(7)
+    worst_nll, worst_grad = 0.0, 0.0
+    for delta, beta, q, n in EQUIV_CASES:
+        X = rng.random((n, beta))
+        tidx = rng.integers(0, delta, n)
+        y = np.sin(3.0 * X[:, 0]) + 0.3 * tidx + 0.05 * rng.normal(size=n)
+        sqd = pairwise_sq_diffs(X)
+        m = LCM(delta, beta, n_latent=q, seed=3)
+        for restart in range(3):
+            theta = m._initial_theta(y, restart=restart)
+            f_fast, g_fast = m._nll_and_grad(theta, sqd, y, tidx)
+            f_ref, g_ref = m._nll_and_grad_reference(theta, sqd, y, tidx)
+            worst_nll = max(worst_nll, abs(f_fast - f_ref))
+            worst_grad = max(worst_grad, float(np.max(np.abs(g_fast - g_ref))))
+    passed = worst_nll < 1e-8 and worst_grad < 1e-6
+    print(f"  equivalence: |Δnll| <= {worst_nll:.3e} (gate 1e-8), "
+          f"|Δgrad|∞ <= {worst_grad:.3e} (gate 1e-6)  "
+          f"{'PASS' if passed else 'FAIL'}")
+    return {
+        "cases": len(EQUIV_CASES) * 3,
+        "max_nll_diff": worst_nll,
+        "max_grad_diff": worst_grad,
+        "passed": passed,
+    }
+
+
+def _campaign(options):
+    problem = TuningProblem(
+        task_space=Space([Real("t", 0.0, 1.0)]),
+        tuning_space=Space([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)]),
+        objective=lambda task, cfg: 1.0
+        + (cfg["x"] - 0.2 - 0.3 * task["t"]) ** 2
+        + (cfg["y"] - 0.7 * task["t"]) ** 2,
+        name="bench-lcm-hotpath",
+    )
+    # n_samples=40 with initial_fraction=0.5 → 20 LHS + 20 BO iterations
+    return GPTune(problem, options).tune([{"t": 0.2}, {"t": 0.8}], 40)
+
+
+def check_warm_refit():
+    """Gate: warm refits spend strictly fewer multi-starts, equal quality.
+
+    Deterministic: the gate counts L-BFGS starts from ``model-fit`` events
+    rather than comparing wall-clock times.
+    """
+    base = dict(seed=0, n_start=2, lbfgs_maxiter=60, pso_iters=8, ei_candidates=16)
+    cold = _campaign(Options(**base))
+    warm = _campaign(Options(**base, refit_warm_start=True, refit_interval=2))
+    cold_starts = cold.events.total("model-fit", "n_starts")
+    warm_starts = warm.events.total("model-fit", "n_starts")
+    extends = warm.events.count("model-extend")
+    cold_best = cold.best_values()
+    warm_best = warm.best_values()
+    fewer = warm_starts < cold_starts
+    quality = bool(np.all(warm_best <= cold_best * 1.05))
+    passed = fewer and quality and extends > 0
+    print(f"  warm refit: starts {cold_starts} -> {warm_starts}, "
+          f"{extends} posterior extension(s), "
+          f"best {[f'{v:.6f}' for v in cold_best]} -> "
+          f"{[f'{v:.6f}' for v in warm_best]}  "
+          f"{'PASS' if passed else 'FAIL'}")
+    return {
+        "cold_starts": int(cold_starts),
+        "warm_starts": int(warm_starts),
+        "extend_events": int(extends),
+        "cold_best": [float(v) for v in cold_best],
+        "warm_best": [float(v) for v in warm_best],
+        "passed": passed,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="run the deterministic CI gates (plus quick timings)")
+    ap.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    args = ap.parse_args(argv)
+
+    sizes = [100, 300, 400, 600]
+    repeats = 3 if args.check else 7
+
+    print("== LCM hot-path micro-benchmarks ==")
+    payload = {
+        "config": {"delta": DELTA, "beta": BETA, "n_latent": Q, "sizes": sizes},
+        "nll_grad": bench_nll_grad(sizes, repeats),
+        "fit": bench_fit([100, 300] if args.check else [100, 300, 600]),
+        "predict": bench_predict(n=300, batch=40, calls=50 if args.check else 200),
+    }
+    at400 = payload["nll_grad"]["400"]["speedup"]
+    print(f"  nll+grad speedup at N=400, δ={DELTA}, β={BETA}: {at400:.2f}x "
+          f"(informational target >= 3x)")
+
+    ok = True
+    if args.check:
+        print("== deterministic gates ==")
+        eq = check_equivalence()
+        wr = check_warm_refit()
+        payload["checks"] = {
+            "equivalence": eq,
+            "warm_refit": wr,
+            "passed": eq["passed"] and wr["passed"],
+        }
+        ok = payload["checks"]["passed"]
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,9 @@ class TuningData:
             raise ValueError("need at least one objective")
         self.X: List[List[Dict[str, Any]]] = [[] for _ in self.tasks]
         self.Y: List[List[np.ndarray]] = [[] for _ in self.tasks]
+        # per-task sets of rounded normalized-x keys, maintained incrementally
+        # by add() so proposal dedup is O(1) instead of O(evals) per lookup
+        self._seen: List[set] = [set() for _ in self.tasks]
 
     # -- basic accessors ------------------------------------------------
     @property
@@ -78,8 +81,10 @@ class TuningData:
             raise ValueError(
                 f"expected {self.n_objectives} objective value(s), got shape {yv.shape}"
             )
-        self.X[task].append(self.tuning_space.to_dict(x))
+        xd = self.tuning_space.to_dict(x)
+        self.X[task].append(xd)
         self.Y[task].append(yv)
+        self._seen[task].add(self.x_key(xd))
 
     def extend(self, task: int, xs: Sequence[Mapping[str, Any]], ys: Sequence[Any]) -> None:
         """Record a batch of evaluations for one task."""
@@ -87,6 +92,22 @@ class TuningData:
             raise ValueError("xs and ys length mismatch")
         for x, y in zip(xs, ys):
             self.add(task, x, y)
+
+    # -- dedup support -----------------------------------------------------
+    def x_key(self, x: Mapping[str, Any]) -> Tuple:
+        """Canonical hashable key of one configuration (rounded unit coords)."""
+        return tuple(np.round(self.tuning_space.normalize(x), 9))
+
+    def seen_keys(self, task: int) -> set:
+        """Keys of every configuration already evaluated for one task.
+
+        Maintained incrementally by :meth:`add` (covering preload, history
+        and checkpoint-resume paths), so membership checks during proposal
+        dedup cost O(1) instead of recomputing the whole set from scratch —
+        the old per-proposal rebuild was O(evals²) over a campaign.  The
+        returned set is live; treat it as read-only.
+        """
+        return self._seen[task]
 
     # -- best-so-far ------------------------------------------------------
     def best(self, task: int, objective: int = 0) -> Tuple[Dict[str, Any], float]:

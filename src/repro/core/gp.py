@@ -98,8 +98,16 @@ class GaussianProcess:
         return nll, grad
 
     # -- fitting -----------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
-        """Fit hyperparameters to ``(X, y)`` (X normalized, y centered or raw)."""
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, theta0: Optional[np.ndarray] = None
+    ) -> "GaussianProcess":
+        """Fit hyperparameters to ``(X, y)`` (X normalized, y centered or raw).
+
+        ``theta0`` optionally warm-starts the first restart from a known-good
+        hyperparameter vector (e.g. the previous MLA iteration's fit for the
+        same task), mirroring :meth:`repro.core.lcm.LCM.fit`; with
+        ``n_start=1`` the multi-start search reduces to one L-BFGS run.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if X.shape[0] != y.shape[0]:
@@ -109,10 +117,19 @@ class GaussianProcess:
         beta = X.shape[1]
         sqd = pairwise_sq_diffs(X)
         yvar = max(float(np.var(y)), 1e-12)
+        if theta0 is not None:
+            theta0 = np.asarray(theta0, dtype=float).ravel()
+            if theta0.shape != (beta + 2,):
+                raise ValueError(
+                    f"theta0 has {theta0.shape[0]} entries, expected {beta + 2}"
+                )
+        warm = theta0
 
         best_nll, best_theta = np.inf, None
         for s in range(self.n_start):
-            if s == 0:
+            if s == 0 and warm is not None:
+                theta0 = warm
+            elif s == 0:
                 theta0 = np.concatenate(
                     [[np.log(yvar)], np.log(np.full(beta, 0.3)), [np.log(yvar * 1e-4 + 1e-10)]]
                 )

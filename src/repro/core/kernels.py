@@ -19,7 +19,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["pairwise_sq_diffs", "gaussian_kernel", "gaussian_kernel_with_grad"]
+__all__ = [
+    "pairwise_sq_diffs",
+    "gaussian_kernel",
+    "gaussian_kernel_batch",
+    "gaussian_kernel_with_grad",
+]
 
 
 def pairwise_sq_diffs(X1: np.ndarray, X2: Optional[np.ndarray] = None) -> np.ndarray:
@@ -66,12 +71,60 @@ def gaussian_kernel(
     return variance * np.exp(-expo.sum(axis=2))
 
 
+def gaussian_kernel_batch(
+    sq_diffs: np.ndarray,
+    lengthscales: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """All ``Q`` ARD kernels at once from one BLAS contraction.
+
+    The LCM evaluates ``Q`` Gaussian kernels over the same sample set per
+    likelihood call; evaluating them one by one sums the ``β`` exponent terms
+    with ``Q`` separate reductions.  Here the exponents for every latent come
+    out of a single ``(Q, β) @ (β, N1·N2)`` matrix product, followed by one
+    in-place ``exp``.
+
+    Parameters
+    ----------
+    sq_diffs:
+        Output of :func:`pairwise_sq_diffs`, shape ``(N1, N2, β)``.
+    lengthscales:
+        ``(Q, β)`` positive ARD lengthscales, one row per latent.
+    out:
+        Optional preallocated ``(Q, N1, N2)`` destination (the likelihood
+        optimizer reuses one across its L-BFGS iterations).
+
+    Returns
+    -------
+    ``(Q, N1, N2)`` array with ``out[q] = k_q`` evaluated at σ² = 1.
+    """
+    ls = np.atleast_2d(np.asarray(lengthscales, dtype=float))
+    if np.any(ls <= 0):
+        raise ValueError("lengthscales must be positive")
+    n1, n2, beta = sq_diffs.shape
+    if ls.shape[1] != beta:
+        raise ValueError(f"lengthscales have {ls.shape[1]} dims, sq_diffs {beta}")
+    q = ls.shape[0]
+    if out is None:
+        out = np.empty((q, n1, n2))
+    flat = out.reshape(q, n1 * n2)
+    np.matmul(0.5 / (ls * ls), sq_diffs.reshape(n1 * n2, beta).T, out=flat)
+    np.negative(flat, out=flat)
+    np.exp(flat, out=flat)
+    return out
+
+
 def gaussian_kernel_with_grad(
     sq_diffs: np.ndarray,
     lengthscales: np.ndarray,
     variance: float = 1.0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Kernel matrix and its gradients w.r.t. ``log l_j``.
+
+    Materializes the full ``(β, N1, N2)`` gradient stack; the LCM's
+    vectorized likelihood avoids it by contracting against ``sq_diffs``
+    directly.  Retained for the single-task GP and as the LCM's reference
+    implementation (:meth:`repro.core.lcm.LCM._nll_and_grad_reference`).
 
     Returns
     -------

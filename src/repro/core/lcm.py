@@ -17,19 +17,56 @@ Hyperparameters — per-latent ARD lengthscales ``l_j^q``, task loadings
 likelihood with multi-start L-BFGS and *analytic* gradients, matching the
 reference implementation.  The multi-start loop can be distributed over an
 executor (Sec. 4.3, level-1 parallelism).
+
+The likelihood/gradient evaluation is the dominant tuner cost (Sec. 4.3
+devotes the whole parallel-modeling design to it), so it runs through a
+vectorized fast path:
+
+* all ``Q`` latent kernels come out of one BLAS contraction
+  (:func:`~repro.core.kernels.gaussian_kernel_batch`),
+* lengthscale gradients are a single matrix contraction of ``M∘A_q∘K_q``
+  against the cached squared-difference tensor — the ``(β, N, N)``
+  per-dimension gradient stack of :func:`gaussian_kernel_with_grad` is never
+  materialized,
+* ``Σ⁻¹`` comes from LAPACK ``potri`` on the existing Cholesky factor
+  instead of an explicit ``cho_solve(L, eye(N))`` triangular solve sweep,
+* large scratch arrays live in a per-thread workspace reused across L-BFGS
+  iterations, and
+* :meth:`fit` reuses the Cholesky factor and ``α`` captured during the
+  winning restart's final likelihood evaluation instead of re-assembling Σ
+  and refactorizing.
+
+The original loop-based implementation is retained verbatim as
+:meth:`LCM._nll_and_grad_reference`; the benchmark harness
+(``benchmarks/bench_lcm_hotpath.py``) pins the fast path against it.
+
+For cheap cross-iteration updates, :meth:`extend` appends new observations
+to a fitted posterior with an ``O(N²·n_new)`` block Cholesky update (no
+hyperparameter re-optimization), and :meth:`predict` caches the per-task
+cross-kernel weight vectors so an acquisition search's thousands of calls
+stop re-unpacking θ.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import linalg as sla
 from scipy import optimize
 
-from .kernels import gaussian_kernel, gaussian_kernel_with_grad, pairwise_sq_diffs
+from .kernels import (
+    gaussian_kernel,
+    gaussian_kernel_batch,
+    gaussian_kernel_with_grad,
+    pairwise_sq_diffs,
+)
 
 __all__ = ["LCMParams", "LCM"]
+
+#: NLL sentinel returned when the covariance is not positive definite.
+_DIVERGED = 1e25
 
 
 class LCMParams:
@@ -74,6 +111,23 @@ class LCMParams:
         return np.concatenate([g_ls.ravel(), g_a.ravel(), g_b.ravel(), g_d.ravel()])
 
 
+class _Workspace:
+    """Preallocated scratch for the vectorized likelihood, one per (Q, N).
+
+    The L-BFGS optimizer evaluates the likelihood hundreds of times on
+    identically-shaped data; allocating the ``(Q, N, N)`` intermediates fresh
+    each call dominates small-N evaluations.  One workspace per thread keeps
+    executor-mapped restarts race-free.
+    """
+
+    def __init__(self, Q: int, N: int):
+        self.key = (Q, N)
+        self.Kall = np.empty((Q, N, N))  # latent kernels, then M∘K_q
+        self.Aall = np.empty((Q, N, N))  # task-coupling factors, then M∘A_q∘K_q
+        self.Sigma = np.empty((N, N))  # Σ, then M = αα^T − Σ⁻¹
+        self.tmp = np.empty((N, N))
+
+
 class LCM:
     """Multitask GP surrogate with LCM covariance.
 
@@ -101,6 +155,14 @@ class LCM:
         initialization, higher indices draw random ones.  Distributed-memory
         deployments give each rank a distinct offset so their single local
         restarts differ (Sec. 4.3 level-1 parallelism).
+
+    Attributes
+    ----------
+    jitter_used_:
+        The diagonal jitter actually present in the fitted factorization —
+        equals ``jitter`` unless Cholesky breakdown forced an escalation
+        (each escalation retries from the *base* diagonal with a 10× larger
+        jitter, so the final factorization uses exactly this known value).
     """
 
     def __init__(
@@ -135,13 +197,26 @@ class LCM:
         self._L: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self.log_likelihood_: float = -np.inf
+        self.jitter_used_: float = float(jitter)
+        # caches (never pickled; rebuilt on demand)
+        self._tls = threading.local()
+        self._same_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._pred_cache: dict = {}
 
     def __getstate__(self):
         # Executors hold process-local pools (locks, pipes) that cannot cross
         # a pickle boundary; a worker-side copy runs its restarts inline.
+        # Scratch workspaces and caches are droppable and thread-local.
         state = self.__dict__.copy()
         state["executor"] = None
+        state["_tls"] = None
+        state["_same_cache"] = None
+        state["_pred_cache"] = {}
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._tls = threading.local()
 
     # -- covariance assembly ------------------------------------------------
     def _covariance(
@@ -161,10 +236,144 @@ class LCM:
             As.append(Aq)
         return Sigma, Ks, As
 
+    def _cov_block(
+        self,
+        theta: np.ndarray,
+        sqd: np.ndarray,
+        tidx_rows: np.ndarray,
+        tidx_cols: np.ndarray,
+    ) -> np.ndarray:
+        """Noise-free LCM covariance between two stacked sample sets.
+
+        Used by :meth:`extend` for the cross/new blocks of the block-append
+        Cholesky update; the per-sample noise ``d_i`` (which applies to the
+        exact diagonal only) is added by the caller where appropriate.
+        """
+        ls, a, bw, _ = self.params.unpack(theta)
+        same = tidx_rows[:, None] == tidx_cols[None, :]
+        Kall = gaussian_kernel_batch(sqd, ls)
+        out = np.zeros(same.shape)
+        for q in range(self.params.Q):
+            Aq = np.outer(a[tidx_rows, q], a[tidx_cols, q])
+            Aq += np.where(same, bw[tidx_rows, q][:, None], 0.0)
+            out += Aq * Kall[q]
+        return out
+
+    # -- likelihood ----------------------------------------------------------
+    def _workspace(self, N: int) -> _Workspace:
+        ws = getattr(self._tls, "ws", None)
+        if ws is None or ws.key != (self.params.Q, N):
+            ws = _Workspace(self.params.Q, N)
+            self._tls.ws = ws
+        return ws
+
+    def _same_mask(self, tidx: np.ndarray) -> np.ndarray:
+        # One fit passes the identical tidx object to every likelihood call;
+        # holding the reference keeps the identity check sound.
+        cached = self._same_cache
+        if cached is not None and cached[0] is tidx:
+            return cached[1]
+        same = tidx[:, None] == tidx[None, :]
+        self._same_cache = (tidx, same)
+        return same
+
     def _nll_and_grad(
+        self,
+        theta: np.ndarray,
+        sqd: np.ndarray,
+        y: np.ndarray,
+        tidx: np.ndarray,
+        capture: Optional[dict] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Negative log marginal likelihood and its gradient in ``theta``.
+
+        Vectorized hot path — see the module docstring for the design.  When
+        ``capture`` is a dict, the successful evaluation's ``(θ, L, α, nll)``
+        are stored in it so :meth:`fit` can adopt the winning restart's final
+        factorization without re-assembling Σ.
+        """
+        p = self.params
+        N = y.shape[0]
+        ws = self._workspace(N)
+        ls, a, bw, dn = p.unpack(theta)
+        same = self._same_mask(tidx)
+
+        Kall = gaussian_kernel_batch(sqd, ls, out=ws.Kall)  # (Q, N, N)
+        at = a[tidx]  # (N, Q)
+        bt = bw[tidx]  # (N, Q)
+        Aall = ws.Aall
+        Sigma = ws.Sigma
+        tmp = ws.tmp
+        for q in range(p.Q):
+            np.outer(at[:, q], at[:, q], out=Aall[q])
+            np.multiply(same, bt[:, q][:, None], out=tmp)
+            Aall[q] += tmp
+        np.multiply(Aall[0], Kall[0], out=Sigma)
+        for q in range(1, p.Q):
+            np.multiply(Aall[q], Kall[q], out=tmp)
+            Sigma += tmp
+        di = np.diag_indices(N)
+        Sigma[di] += dn[tidx] + self.jitter
+
+        try:
+            L = sla.cholesky(Sigma, lower=True, check_finite=False)
+        except sla.LinAlgError:
+            return _DIVERGED, np.zeros_like(theta)
+        alpha = sla.cho_solve((L, True), y, check_finite=False)
+        nll = 0.5 * float(y @ alpha) + float(np.log(np.diag(L)).sum()) + 0.5 * N * np.log(2 * np.pi)
+        if capture is not None:
+            capture.update(theta=np.array(theta, copy=True), L=L, alpha=alpha, nll=nll)
+
+        # Σ⁻¹ from the Cholesky factor via LAPACK potri (half the flops of
+        # the cho_solve(L, eye(N)) sweep, and no N×N identity).
+        potri, = sla.get_lapack_funcs(("potri",), (L,))
+        Sinv, info = potri(L, lower=1)
+        if info != 0:  # pragma: no cover - potri failing after a good potrf
+            Sinv = sla.cho_solve((L, True), np.eye(N), check_finite=False)
+        else:
+            iu = np.triu_indices(N, 1)
+            Sinv[iu] = Sinv.T[iu]
+        M = np.outer(alpha, alpha, out=ws.Sigma)  # Σ content no longer needed
+        M -= Sinv  # dLL/dθ = 0.5 tr(M ∂Σ/∂θ)
+
+        # GK[q] = M∘K_q (in place on Kall); W[q] = M∘A_q∘K_q (in place on Aall)
+        GK = Kall
+        GK *= M[None, :, :]
+        W = Aall
+        W *= GK
+
+        # lengthscale gradients: one contraction of W against the cached
+        # squared-diff tensor replaces the (β, N, N) per-dimension stack
+        g_ls = np.matmul(W.reshape(p.Q, N * N), sqd.reshape(N * N, p.beta))
+        g_ls *= 0.5 / (ls * ls)
+
+        # task-loading gradients: g_a[i,q] = Σ_{n∈i} (GK[q] @ a[tidx,·q])_n
+        tm = np.einsum("qnm,mq->nq", GK, at)
+        g_a = np.zeros((p.delta, p.Q))
+        np.add.at(g_a, tidx, tm)
+
+        # b gradients: per-task block sums of GK[q] over same-task pairs
+        onehot = np.zeros((p.delta, N))
+        onehot[tidx, np.arange(N)] = 1.0
+        rs = np.matmul(GK, onehot.T)  # (Q, N, δ)
+        sel = rs[:, np.arange(N), tidx]  # (Q, N): Σ_{m∈task(n)} GK[q,n,m]
+        g_b = np.zeros((p.delta, p.Q))
+        np.add.at(g_b, tidx, 0.5 * sel.T)
+
+        g_d = 0.5 * np.bincount(tidx, weights=M.diagonal(), minlength=p.delta)
+
+        # chain rule to log-parameters for ls, b, d; negate for NLL
+        grad = -self.params.pack_grad(g_ls, g_a, g_b * bw, g_d * dn)
+        return nll, grad
+
+    def _nll_and_grad_reference(
         self, theta: np.ndarray, sqd: np.ndarray, y: np.ndarray, tidx: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        """Negative log marginal likelihood and its gradient in ``theta``."""
+        """Loop-based reference likelihood (the pre-vectorization code).
+
+        Retained verbatim so tests and ``benchmarks/bench_lcm_hotpath.py``
+        can pin the fast path's numerics against it; not used by :meth:`fit`.
+        """
         p = self.params
         N = y.shape[0]
         ls, a, bw, dn = p.unpack(theta)
@@ -183,7 +392,7 @@ class LCM:
         try:
             L = sla.cholesky(Sigma, lower=True)
         except sla.LinAlgError:
-            return 1e25, np.zeros_like(theta)
+            return _DIVERGED, np.zeros_like(theta)
         alpha = sla.cho_solve((L, True), y)
         nll = 0.5 * float(y @ alpha) + float(np.log(np.diag(L)).sum()) + 0.5 * N * np.log(2 * np.pi)
         Sinv = sla.cho_solve((L, True), np.eye(N))
@@ -226,18 +435,33 @@ class LCM:
             dn = np.exp(self.rng.normal(np.log(1e-3 * yvar + 1e-8), 1.0, p.delta))
         return p.pack(ls, a, bw, dn)
 
-    def _optimize_one(self, args) -> Tuple[float, np.ndarray]:
+    def _optimize_one(self, args):
+        """One L-BFGS restart; returns ``(nll, θ, L, α)``.
+
+        ``L`` and ``α`` come from the final successful likelihood evaluation
+        at the returned ``θ`` (usually the optimizer's last step; otherwise
+        one extra evaluation), so :meth:`fit` can adopt the winner's
+        factorization directly.  They are ``None`` when even the final point
+        is not factorizable.
+        """
         theta0, sqd, y, tidx = args
+        cap: dict = {}
         res = optimize.minimize(
             self._nll_and_grad,
             theta0,
-            args=(sqd, y, tidx),
+            args=(sqd, y, tidx, cap),
             jac=True,
             method="L-BFGS-B",
             options={"maxiter": self.maxiter},
             bounds=self._bounds(theta0.shape[0]),
         )
-        return float(res.fun), np.asarray(res.x)
+        x = np.asarray(res.x)
+        if cap.get("theta") is None or not np.array_equal(cap["theta"], x):
+            cap = {}
+            nll, _ = self._nll_and_grad(x, sqd, y, tidx, capture=cap)
+        if cap.get("theta") is None:
+            return float(res.fun), x, None, None
+        return float(cap["nll"]), x, cap["L"], cap["alpha"]
 
     def _bounds(self, n: int):
         p = self.params
@@ -271,9 +495,10 @@ class LCM:
             ``(N,)`` integer task id in ``[0, δ)`` per row.
         theta0:
             Optional warm-start hyperparameter vector (e.g. from the
-            surrogate-model cache): it replaces the first restart's
-            initialization, so ``n_start=1`` reduces the multi-start search
-            to one L-BFGS run from a known-good optimum.
+            surrogate-model cache or the previous MLA iteration's fit): it
+            replaces the first restart's initialization, so ``n_start=1``
+            reduces the multi-start search to one L-BFGS run from a
+            known-good optimum.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -302,24 +527,140 @@ class LCM:
             results = list(self.executor.map(self._optimize_one, jobs))
         else:
             results = [self._optimize_one(j) for j in jobs]
-        best_nll, best_theta = min(results, key=lambda r: r[0])
+        best_nll, best_theta, bestL, best_alpha = min(results, key=lambda r: r[0])
 
         self.X, self.y, self.task_index, self.theta = X, y, tidx, best_theta
         self.log_likelihood_ = -best_nll
-        Sigma, _, _ = self._covariance(best_theta, sqd, tidx)
-        Sigma[np.diag_indices(X.shape[0])] += self.jitter
+        self._pred_cache = {}
+        if bestL is not None:
+            # the winning restart's final evaluation already factorized Σ
+            self._L, self._alpha = bestL, best_alpha
+            self.jitter_used_ = self.jitter
+        else:
+            self._refactorize(sqd)
+        return self
+
+    def _refactorize(self, sqd: np.ndarray) -> None:
+        """Assemble and factorize Σ(θ) with escalating — not compounding — jitter.
+
+        Each retry restores the base diagonal before adding the escalated
+        jitter, so the final factorization uses exactly ``jitter_used_``
+        rather than the sum of every previous attempt's additions.
+        """
+        assert self.theta is not None and self.X is not None
+        Sigma, _, _ = self._covariance(self.theta, sqd, self.task_index)
+        di = np.diag_indices(Sigma.shape[0])
+        base = Sigma[di].copy()
         j = self.jitter
         while True:
+            Sigma[di] = base + j
             try:
                 self._L = sla.cholesky(Sigma, lower=True)
                 break
             except sla.LinAlgError:
-                j = max(j, 1e-10) * 10
-                Sigma[np.diag_indices(X.shape[0])] += j
+                j = max(j, 1e-10) * 10.0
                 if j > 1.0:
                     raise
-        self._alpha = sla.cho_solve((self._L, True), y)
+        self.jitter_used_ = j
+        self._alpha = sla.cho_solve((self._L, True), self.y)
+
+    def extend(
+        self, Xnew: np.ndarray, ynew: np.ndarray, tidx_new: Sequence[int]
+    ) -> "LCM":
+        """Append observations to the fitted posterior without refitting θ.
+
+        An ``O(N²·n_new)`` block Cholesky update: with the existing factor
+        ``L₁₁`` of Σ₁₁, the extended factor is
+
+        .. math::
+
+            L = \\begin{pmatrix} L_{11} & 0 \\\\
+                S_{12}^T L_{11}^{-T} & L_{22} \\end{pmatrix},
+            \\qquad
+            L_{22} L_{22}^T = S_{22} - L_{21} L_{21}^T
+
+        so only the ``n_new × n_new`` trailing block is factorized from
+        scratch.  Hyperparameters stay at the last :meth:`fit` optimum — the
+        cross-iteration ``refit_interval`` mode of the MLA driver uses this
+        to skip intermediate refits entirely.
+        """
+        if self.theta is None or self.X is None or self._L is None:
+            raise RuntimeError("extend() before fit()")
+        Xnew = np.atleast_2d(np.asarray(Xnew, dtype=float))
+        ynew = np.asarray(ynew, dtype=float).ravel()
+        tnew = np.asarray(tidx_new, dtype=int).ravel()
+        if not (Xnew.shape[0] == ynew.shape[0] == tnew.shape[0]):
+            raise ValueError("Xnew, ynew and tidx_new row counts differ")
+        if Xnew.shape[0] == 0:
+            return self
+        if Xnew.shape[1] != self.X.shape[1]:
+            raise ValueError("Xnew dimension differs from fitted inputs")
+        if tnew.min() < 0 or tnew.max() >= self.params.delta:
+            raise ValueError("task_index out of range")
+        _, _, _, dn = self.params.unpack(self.theta)
+        n_old, n_new = self.X.shape[0], Xnew.shape[0]
+
+        S12 = self._cov_block(
+            self.theta, pairwise_sq_diffs(self.X, Xnew), self.task_index, tnew
+        )
+        S22 = self._cov_block(self.theta, pairwise_sq_diffs(Xnew), tnew, tnew)
+        di = np.diag_indices(n_new)
+        S22[di] += dn[tnew] + self.jitter_used_
+
+        B = sla.solve_triangular(self._L, S12, lower=True)  # (n_old, n_new)
+        C = S22 - B.T @ B
+        base = C[di].copy()
+        j = 0.0
+        while True:
+            try:
+                L22 = sla.cholesky(C, lower=True)
+                break
+            except sla.LinAlgError:
+                j = max(j, self.jitter, 1e-10) * 10.0
+                if j > 1.0:
+                    raise
+                C[di] = base + j
+
+        L = np.zeros((n_old + n_new, n_old + n_new))
+        L[:n_old, :n_old] = self._L
+        L[n_old:, :n_old] = B.T
+        L[n_old:, n_old:] = L22
+        self.X = np.vstack([self.X, Xnew])
+        self.y = np.concatenate([self.y, ynew])
+        self.task_index = np.concatenate([self.task_index, tnew])
+        self._L = L
+        self._alpha = sla.cho_solve((L, True), self.y)
+        N = self.y.shape[0]
+        self.log_likelihood_ = -(
+            0.5 * float(self.y @ self._alpha)
+            + float(np.log(np.diag(L)).sum())
+            + 0.5 * N * np.log(2 * np.pi)
+        )
+        self._pred_cache = {}
+        self._same_cache = None
         return self
+
+    def _task_weights(self, task: int) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Cached per-(task, θ) prediction constants.
+
+        Returns ``(inv2ls (Q,β), w (Q,N), prior)`` where
+        ``w[q,m] = a_{task,q} a_{t_m,q} + b_{task,q} δ_{t_m,task}`` is the
+        cross-kernel weight vector of Eq. 5 and ``prior`` the task's prior
+        variance.  The PSO/EI inner loop calls :meth:`predict` thousands of
+        times per search phase; caching these stops every call re-unpacking
+        θ and re-deriving the weights.  Invalidated by :meth:`fit` and
+        :meth:`extend`.
+        """
+        cached = self._pred_cache.get(task)
+        if cached is None:
+            ls, a, bw, _ = self.params.unpack(self.theta)
+            inv2 = 0.5 / (ls * ls)
+            w = (a[task][None, :] * a[self.task_index]).T.copy()  # (Q, N)
+            w[:, self.task_index == task] += bw[task][:, None]
+            prior = float(np.sum(a[task] ** 2 + bw[task]))
+            cached = (inv2, w, prior)
+            self._pred_cache[task] = cached
+        return cached
 
     def predict(self, task: int, Xstar: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean and variance for one task at new points (Eqs. 5–6).
@@ -337,16 +678,14 @@ class LCM:
         if not 0 <= task < self.params.delta:
             raise ValueError("task out of range")
         Xstar = np.atleast_2d(np.asarray(Xstar, dtype=float))
-        ls, a, bw, dn = self.params.unpack(self.theta)
-        tidx = self.task_index
+        inv2, w, prior = self._task_weights(task)
+        ns, n = Xstar.shape[0], self.X.shape[0]
         sqd = pairwise_sq_diffs(Xstar, self.X)
-        Kstar = np.zeros((Xstar.shape[0], self.X.shape[0]))
-        prior = 0.0
-        for q in range(self.params.Q):
-            Kq = gaussian_kernel(sqd, ls[q])
-            w = a[task, q] * a[tidx, q] + np.where(tidx == task, bw[task, q], 0.0)
-            Kstar += Kq * w[None, :]
-            prior += a[task, q] ** 2 + bw[task, q]
+        # all Q cross-kernels in one contraction, then the weighted latent sum
+        E = np.matmul(inv2, sqd.reshape(ns * n, self.params.beta).T)
+        np.negative(E, out=E)
+        np.exp(E, out=E)
+        Kstar = np.einsum("qnm,qm->nm", E.reshape(self.params.Q, ns, n), w)
         mu = Kstar @ self._alpha
         v = sla.solve_triangular(self._L, Kstar.T, lower=True)
         var = prior - np.einsum("ij,ij->j", v, v)

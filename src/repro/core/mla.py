@@ -163,6 +163,18 @@ class _YTransform:
         self.std = float(v.std()) or 1.0
         return (v - self.mean) / self.std
 
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform without re-estimating mean/std.
+
+        The posterior-extension path must feed new observations to a model
+        in exactly the units the model was fitted in, so intermediate
+        iterations reuse the last full refit's statistics.
+        """
+        v = np.log(np.maximum(y, 1e-300)) if self.kind == "log" else np.asarray(y, float)
+        if self.kind == "none":
+            return v.copy()
+        return (v - self.mean) / self.std
+
 
 class GPTune:
     """Multitask Bayesian-optimization autotuner.
@@ -208,6 +220,14 @@ class GPTune:
         self.events = CampaignLog()
         self._seeds = np.random.SeedSequence(self.options.seed)
         self._executor = None
+        # per-campaign modeling state (reset by tune()): warm-refit carryover
+        # per objective, GP-ladder carryover per (objective, task), the
+        # modeling-phase counter driving refit_interval, and the incremental
+        # content-fingerprint accumulator for the surrogate cache
+        self._warm_state: Dict[int, Dict[str, Any]] = {}
+        self._warm_gp_theta: Dict[Tuple[int, int], np.ndarray] = {}
+        self._fit_iter = 0
+        self._fp_state: Optional[Dict[str, Any]] = None
         self._retry = RetryPolicy(
             max_attempts=self.options.retry_attempts,
             timeout=self.options.eval_timeout,
@@ -276,7 +296,36 @@ class GPTune:
         self.events.record("checkpoint", f"iteration {iteration} -> {path}")
 
     def _seen_keys(self, data: TuningData, task: int) -> set:
-        return {tuple(np.round(data.tuning_space.normalize(x), 9)) for x in data.X[task]}
+        # incremental per-task set maintained by TuningData.add — O(1) per
+        # lookup instead of rebuilding the set for every proposal
+        return data.seen_keys(task)
+
+    def _fingerprints(self, data: TuningData) -> Optional[frozenset]:
+        """Content fingerprints of the current data, accumulated incrementally.
+
+        Records are append-only per task, so only rows beyond the last
+        hashed count are fingerprinted — the old code re-hashed every record
+        on every modeling phase.  Returns ``None`` when no surrogate cache
+        is attached.
+        """
+        if self.model_cache is None:
+            return None
+        from ..service.store import content_fingerprint
+
+        st = self._fp_state
+        if st is None or st["data"] is not data:
+            st = {"data": data, "counts": [0] * data.n_tasks, "fps": set()}
+            self._fp_state = st
+        for i, task in enumerate(data.tasks):
+            xs, ys = data.X[i], data.Y[i]
+            for k in range(st["counts"][i], len(xs)):
+                st["fps"].add(
+                    content_fingerprint(
+                        {"task": dict(task), "x": dict(xs[k]), "y": [float(v) for v in ys[k]]}
+                    )
+                )
+            st["counts"][i] = len(xs)
+        return frozenset(st["fps"])
 
     # -- main entry -----------------------------------------------------------
     def tune(
@@ -341,6 +390,11 @@ class GPTune:
         active = [i for i in range(data.n_tasks) if i not in frozen_set]
         if not active:
             raise ValueError("all tasks frozen; nothing to tune")
+        # modeling carryover is per-campaign: start this one cold
+        self._warm_state = {}
+        self._warm_gp_theta = {}
+        self._fit_iter = 0
+        self._fp_state = None
         stats = {
             "objective_time": 0.0,
             "objective_wall_time": 0.0,
@@ -456,7 +510,14 @@ class GPTune:
     def _fit_models(
         self, data: TuningData, stats, featurizer: Optional[ModelFeaturizer]
     ) -> Tuple[List[LCM], List[_YTransform], List[np.ndarray]]:
-        """Model-update + modeling phases; returns per-objective surrogates."""
+        """Model-update + modeling phases; returns per-objective surrogates.
+
+        With ``options.refit_interval > 1``, intermediate modeling phases
+        extend each objective's fitted posterior with the new observations
+        (O(N²·n_new), no L-BFGS) instead of refitting; every k-th phase (and
+        any phase where extension is impossible) runs a full fit, warm-started
+        from the previous optimum when ``options.refit_warm_start`` is on.
+        """
         t0 = time.perf_counter()
         gamma = data.n_objectives
         X, _, tidx = data.stacked(0)
@@ -474,16 +535,34 @@ class GPTune:
 
         models, transforms, ybests = [], [], []
         executor = self._get_executor() if self.options.model_restarts_parallel else None
-        fingerprints = None
-        if self.model_cache is not None:
-            from ..service.store import content_fingerprint
-
-            fingerprints = frozenset(content_fingerprint(r) for r in data.to_records())
+        fingerprints = self._fingerprints(data)
+        counts = [data.n_samples(i) for i in range(data.n_tasks)]
+        extend_phase = (
+            featurizer is None
+            and self.options.refit_interval > 1
+            and self._fit_iter % self.options.refit_interval != 0
+        )
         for s in range(gamma):
             _, ys, _ = data.stacked(s)
-            tr = _YTransform(self.options.y_transform)
-            yt = tr.fit(ys)
-            models.append(self._fit_surrogate(data, X, yt, tidx, executor, s, fingerprints))
+            model = tr = None
+            if extend_phase:
+                model = self._extend_surrogate(data, s, counts)
+            if model is not None:
+                tr = self._warm_state[s]["transform"]
+                yt = tr.transform(ys)
+            else:
+                tr = _YTransform(self.options.y_transform)
+                yt = tr.fit(ys)
+                model = self._fit_surrogate(data, X, yt, tidx, executor, s, fingerprints)
+                if featurizer is None and isinstance(model, LCM):
+                    self._warm_state[s] = {
+                        "model": model,
+                        "transform": tr,
+                        "counts": list(counts),
+                    }
+                else:
+                    self._warm_state.pop(s, None)
+            models.append(model)
             transforms.append(tr)
             # per-task incumbents in transformed units
             ybests.append(
@@ -491,8 +570,49 @@ class GPTune:
                     [yt[tidx == i].min() if np.any(tidx == i) else np.inf for i in range(data.n_tasks)]
                 )
             )
+        self._fit_iter += 1
         stats["modeling_time"] += time.perf_counter() - t0
         return models, transforms, ybests
+
+    def _extend_surrogate(
+        self, data: TuningData, objective: int, counts: Sequence[int]
+    ) -> Optional[LCM]:
+        """Extend the previous iteration's posterior with the new rows.
+
+        Returns the extended LCM, or ``None`` when extension is impossible
+        (no previous fit, or the update fails numerically) — the caller then
+        falls back to a full refit.
+        """
+        st = self._warm_state.get(objective)
+        if st is None:
+            return None
+        model: LCM = st["model"]
+        prev = st["counts"]
+        rows, ys, tix = [], [], []
+        for i in range(data.n_tasks):
+            for k in range(prev[i], counts[i]):
+                rows.append(data.tuning_space.normalize(data.X[i][k]))
+                ys.append(data.Y[i][k][objective])
+                tix.append(i)
+        if rows and np.vstack(rows).shape[1] != model.params.beta:
+            return None
+        try:
+            if rows:
+                yt_new = st["transform"].transform(np.asarray(ys, dtype=float))
+                model.extend(np.vstack(rows), yt_new, np.asarray(tix, dtype=int))
+        except Exception as e:
+            self.events.record(
+                "model-downgrade",
+                f"objective {objective}: posterior extension failed, refitting "
+                f"({type(e).__name__}: {e})",
+            )
+            return None
+        st["counts"] = list(counts)
+        self.events.record(
+            "model-extend",
+            f"objective {objective}: n_new={len(rows)} n={model.y.shape[0]} n_starts=0",
+        )
+        return model
 
     def _fit_surrogate(
         self, data: TuningData, X, yt, tidx, executor, objective: int, fingerprints=None
@@ -505,13 +625,28 @@ class GPTune:
 
         When a surrogate cache holds a fit whose data is a subset/superset
         of ours (``fingerprints``), its hyperparameters warm-start a single
-        L-BFGS run in place of the cold multi-start.  Every fit emits a
+        L-BFGS run in place of the cold multi-start.  With
+        ``options.refit_warm_start``, the previous MLA iteration's optimum
+        (fresher than any cache entry) takes precedence and the start count
+        drops to ``options.refit_warm_n_start``.  Every fit emits a
         ``"model-fit"`` event recording how many multi-starts it spent.
         """
         n_latent = self.options.n_latent or min(data.n_tasks, 3)
         n_start = self.options.n_start
         theta0 = None
-        if self.model_cache is not None and fingerprints:
+        if self.options.refit_warm_start:
+            st = self._warm_state.get(objective)
+            prev = st["model"] if st is not None else None
+            if (
+                prev is not None
+                and prev.theta is not None
+                and prev.params.delta == data.n_tasks
+                and prev.params.beta == X.shape[1]
+                and prev.params.Q == n_latent
+            ):
+                theta0 = np.asarray(prev.theta, dtype=float)
+                n_start = self.options.refit_warm_n_start
+        if theta0 is None and self.model_cache is not None and fingerprints:
             cached = self.model_cache.lookup(
                 self.problem.name,
                 objective,
@@ -586,13 +721,23 @@ class GPTune:
                 if not np.any(rows):
                     gps.append(None)
                     continue
+                # the degradation ladder warm-starts the same way the LCM
+                # does: last iteration's per-task optimum, reduced starts
+                gp_theta0 = None
+                gp_starts = self.options.n_start
+                if self.options.refit_warm_start:
+                    prev_gp = self._warm_gp_theta.get((objective, i))
+                    if prev_gp is not None and prev_gp.shape == (X.shape[1] + 2,):
+                        gp_theta0 = prev_gp
+                        gp_starts = self.options.refit_warm_n_start
                 gp = GaussianProcess(
                     jitter=self.options.jitter,
-                    n_start=self.options.n_start,
+                    n_start=gp_starts,
                     maxiter=self.options.lbfgs_maxiter,
                     seed=self._child_seed(),
                 )
-                gp.fit(X[rows], yt[rows])
+                gp.fit(X[rows], yt[rows], theta0=gp_theta0)
+                self._warm_gp_theta[(objective, i)] = np.asarray(gp.theta)
                 gps.append(gp)
             return IndependentGPs(gps)
         except Exception as e:

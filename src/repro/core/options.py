@@ -99,6 +99,26 @@ class Options:
         multi-starts diverging): fall back to independent per-task GPs, then
         to random search, recording a ``"model-downgrade"`` event per step.
         When False, a failed fit aborts the run as before.
+    refit_warm_start:
+        Keep each objective's fitted hyperparameters between MLA iterations
+        and refit with ``theta0 = θ_prev`` and ``refit_warm_n_start`` starts
+        instead of ``n_start`` cold multi-starts.  The likelihood landscape
+        barely moves when one batch of points is added, so the previous
+        optimum is an excellent initial iterate; the first iteration (and
+        any iteration whose model shape changed) still fits cold.  The
+        per-task GP degradation ladder warm-starts the same way.
+    refit_warm_n_start:
+        L-BFGS start count for warm refits (default 1 — a single run from
+        the previous optimum).
+    refit_interval:
+        Full hyperparameter refit every k-th modeling phase; intermediate
+        iterations *extend* the fitted posterior with the new observations
+        via an O(N²·n_new) block Cholesky update
+        (:meth:`repro.core.lcm.LCM.extend`) — no L-BFGS at all, recorded as
+        a ``"model-extend"`` event.  1 (default) refits every iteration;
+        larger values trade hyperparameter freshness for modeling time.
+        Iterations with performance models attached always refit (the
+        enriched inputs change wholesale).
     verbose:
         Print per-iteration progress.
     """
@@ -129,6 +149,9 @@ class Options:
     checkpoint_every: int = 1
     model_cache_path: Optional[str] = None
     model_fallback: bool = True
+    refit_warm_start: bool = False
+    refit_warm_n_start: int = 1
+    refit_interval: int = 1
     verbose: bool = False
 
     def __post_init__(self) -> None:
@@ -160,6 +183,10 @@ class Options:
             raise ValueError("eval_timeout must be positive")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.refit_warm_n_start < 1:
+            raise ValueError("refit_warm_n_start must be >= 1")
+        if self.refit_interval < 1:
+            raise ValueError("refit_interval must be >= 1")
 
     def replace(self, **kw) -> "Options":
         """Return a copy with the given fields overridden."""

@@ -37,7 +37,9 @@ class CampaignEvent:
     service adds ``"service-append"``, ``"service-compact"`` and
     ``"service-torn-line"`` (storage layer), and the modeling phase records
     ``"model-fit"`` (with its ``n_starts=`` multi-start count),
-    ``"model-cache-hit"`` and ``"model-cache-store"`` (surrogate cache).
+    ``"model-extend"`` (posterior extended in place with ``n_starts=0`` —
+    see ``Options.refit_interval``), ``"model-cache-hit"`` and
+    ``"model-cache-store"`` (surrogate cache).
     """
 
     seq: int

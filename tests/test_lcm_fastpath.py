@@ -1,0 +1,247 @@
+"""Tests for the vectorized LCM hot path (repro.core.lcm).
+
+Pins the fast likelihood/gradient against the retained reference
+implementation, checks analytic gradients against finite differences across
+randomized shapes, and covers the fit-capture, block-extension,
+jitter-escalation and predict-cache machinery.
+"""
+
+import numpy as np
+import pytest
+from scipy import linalg as sla
+
+from repro.core import LCM
+from repro.core.kernels import gaussian_kernel_batch, gaussian_kernel, pairwise_sq_diffs
+
+
+def _case(rng, delta, beta, n):
+    X = rng.random((n, beta))
+    tidx = rng.integers(0, delta, n)
+    y = np.sin(3.0 * X[:, 0]) + 0.3 * tidx + 0.05 * rng.normal(size=n)
+    return X, y, tidx
+
+
+class TestKernelBatch:
+    def test_matches_per_latent_kernels(self, rng):
+        sqd = pairwise_sq_diffs(rng.random((9, 3)), rng.random((7, 3)))
+        ls = np.exp(rng.normal(size=(4, 3)))
+        Kall = gaussian_kernel_batch(sqd, ls)
+        assert Kall.shape == (4, 9, 7)
+        for q in range(4):
+            assert np.allclose(Kall[q], gaussian_kernel(sqd, ls[q]))
+
+    def test_out_buffer_reused(self, rng):
+        sqd = pairwise_sq_diffs(rng.random((5, 2)))
+        ls = np.exp(rng.normal(size=(2, 2)))
+        out = np.empty((2, 5, 5))
+        got = gaussian_kernel_batch(sqd, ls, out=out)
+        assert got is out
+
+    def test_rejects_bad_lengthscales(self, rng):
+        sqd = pairwise_sq_diffs(rng.random((4, 2)))
+        with pytest.raises(ValueError):
+            gaussian_kernel_batch(sqd, np.array([[0.5, -1.0]]))
+        with pytest.raises(ValueError):
+            gaussian_kernel_batch(sqd, np.ones((1, 3)))  # dim mismatch
+
+
+class TestEquivalence:
+    """The vectorized path must be numerically identical to the reference."""
+
+    @pytest.mark.parametrize(
+        "delta,beta,q,n",
+        [(2, 2, 2, 24), (3, 4, 2, 30), (4, 6, 3, 40), (1, 3, 1, 16), (5, 5, 3, 36)],
+    )
+    def test_fast_matches_reference(self, rng, delta, beta, q, n):
+        X, y, tidx = _case(rng, delta, beta, n)
+        sqd = pairwise_sq_diffs(X)
+        m = LCM(delta, beta, n_latent=q, seed=3)
+        for restart in range(3):
+            theta = m._initial_theta(y, restart=restart)
+            f_fast, g_fast = m._nll_and_grad(theta, sqd, y, tidx)
+            f_ref, g_ref = m._nll_and_grad_reference(theta, sqd, y, tidx)
+            assert abs(f_fast - f_ref) < 1e-8
+            assert np.max(np.abs(g_fast - g_ref)) < 1e-6
+
+    def test_workspace_reuse_does_not_corrupt(self, rng):
+        """Back-to-back evaluations at different θ reuse buffers safely."""
+        X, y, tidx = _case(rng, 3, 2, 20)
+        sqd = pairwise_sq_diffs(X)
+        m = LCM(3, 2, n_latent=2, seed=0)
+        thetas = [m._initial_theta(y, restart=r) for r in range(4)]
+        expected = [m._nll_and_grad_reference(t, sqd, y, tidx) for t in thetas]
+        for theta, (f_ref, g_ref) in zip(thetas, expected):
+            f, g = m._nll_and_grad(theta, sqd, y, tidx)
+            assert abs(f - f_ref) < 1e-8
+            assert np.max(np.abs(g - g_ref)) < 1e-6
+
+    def test_diverged_theta_returns_sentinel(self, rng):
+        """A non-PD covariance reports the divergence sentinel, not a crash."""
+        X, y, tidx = _case(rng, 2, 1, 8)
+        X[1] = X[0]  # duplicate rows
+        tidx[1] = tidx[0]
+        m = LCM(2, 1, n_latent=1, seed=0, jitter=0.0)
+        theta = m.params.pack(
+            np.full((1, 1), 0.3),
+            np.ones((2, 1)),
+            np.full((2, 1), 1e-18),
+            np.full(2, 1e-18),
+        )
+        f, g = m._nll_and_grad(theta, pairwise_sq_diffs(X), y, tidx)
+        assert f >= 1e24 and np.all(g == 0)
+
+
+class TestGradientFiniteDifference:
+    @pytest.mark.parametrize("delta,beta,q,n", [(2, 3, 2, 14), (4, 2, 3, 18), (1, 4, 1, 10)])
+    def test_fd_matches_randomized_cases(self, rng, delta, beta, q, n):
+        X, y, tidx = _case(rng, delta, beta, n)
+        sqd = pairwise_sq_diffs(X)
+        m = LCM(delta, beta, n_latent=q, seed=11)
+        theta = m._initial_theta(y, restart=1)
+        _, g = m._nll_and_grad(theta, sqd, y, tidx)
+        eps = 1e-6
+        num = np.zeros_like(theta)
+        for k in range(theta.shape[0]):
+            tp, tm = theta.copy(), theta.copy()
+            tp[k] += eps
+            tm[k] -= eps
+            fp, _ = m._nll_and_grad(tp, sqd, y, tidx)
+            fm, _ = m._nll_and_grad(tm, sqd, y, tidx)
+            num[k] = (fp - fm) / (2 * eps)
+        assert np.max(np.abs(g - num) / (1.0 + np.abs(num))) < 1e-5
+
+
+class TestFitCapture:
+    def test_fit_factorization_is_consistent(self, toy_multitask_data):
+        """The captured (L, α) equal a from-scratch factorization at θ*."""
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=2).fit(X, y, tidx)
+        Sigma, _, _ = m._covariance(m.theta, pairwise_sq_diffs(X), tidx)
+        Sigma[np.diag_indices(X.shape[0])] += m.jitter_used_
+        L = sla.cholesky(Sigma, lower=True)
+        assert np.allclose(m._L, L, atol=1e-10)
+        assert np.allclose(m._alpha, sla.cho_solve((L, True), y), atol=1e-8)
+        assert m.jitter_used_ == m.jitter
+
+    def test_log_likelihood_matches_reference_nll(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=2).fit(X, y, tidx)
+        f_ref, _ = m._nll_and_grad_reference(m.theta, pairwise_sq_diffs(X), y, tidx)
+        assert m.log_likelihood_ == pytest.approx(-f_ref, rel=1e-9)
+
+
+class TestJitterEscalation:
+    def test_refactorize_does_not_compound_jitter(self):
+        """Each escalation retries from the base diagonal, and the final
+        factorization uses exactly the reported ``jitter_used_``."""
+        # two identical points in one task with ~zero noise -> singular Σ
+        X = np.array([[0.5], [0.5], [0.1]])
+        y = np.array([1.0, 1.0, 0.0])
+        tidx = np.array([0, 0, 0])
+        m = LCM(1, 1, n_latent=1, seed=0, jitter=1e-300)
+        m.X, m.y, m.task_index = X, y, tidx
+        m.theta = m.params.pack(
+            np.full((1, 1), 0.3), np.ones((1, 1)), np.full((1, 1), 1e-18), np.full(1, 1e-18)
+        )
+        m._refactorize(pairwise_sq_diffs(X))
+        assert np.isfinite(m.jitter_used_) and m.jitter_used_ > m.jitter
+        Sigma, _, _ = m._covariance(m.theta, pairwise_sq_diffs(X), tidx)
+        Sigma[np.diag_indices(3)] += m.jitter_used_
+        # the known, reported jitter reproduces the factorization exactly
+        assert np.allclose(m._L @ m._L.T, Sigma, atol=1e-12)
+        assert np.allclose(m._alpha, sla.cho_solve((m._L, True), y))
+
+    def test_refactorize_raises_beyond_cap(self):
+        X = np.array([[0.5], [0.5]])
+        m = LCM(1, 1, n_latent=1, seed=0, jitter=1e-300)
+        m.X, m.y, m.task_index = X, np.array([np.inf, -np.inf]), np.array([0, 0])
+        m.theta = m.params.pack(
+            np.full((1, 1), 1e6), np.full((1, 1), np.nan), np.full((1, 1), 1.0), np.full(1, 1.0)
+        )
+        with pytest.raises(Exception):
+            m._refactorize(pairwise_sq_diffs(X))
+
+
+class TestExtend:
+    def test_extend_matches_cold_factorization(self, rng):
+        delta, beta, n = 3, 2, 30
+        X, y, tidx = _case(rng, delta, beta, n)
+        m = LCM(delta, beta, n_latent=2, seed=0, n_start=2).fit(X[:22], y[:22], tidx[:22])
+        m.extend(X[22:], y[22:], tidx[22:])
+        Sigma, _, _ = m._covariance(m.theta, pairwise_sq_diffs(X), tidx)
+        Sigma[np.diag_indices(n)] += m.jitter_used_
+        L = sla.cholesky(Sigma, lower=True)
+        assert np.allclose(m._L, L, atol=1e-9)
+        assert np.allclose(m._alpha, sla.cho_solve((L, True), y), atol=1e-8)
+        nll_ref, _ = m._nll_and_grad_reference(m.theta, pairwise_sq_diffs(X), y, tidx)
+        assert m.log_likelihood_ == pytest.approx(-nll_ref, rel=1e-9)
+
+    def test_extend_predictions_match_cold_fit_at_same_theta(self, rng):
+        delta, beta, n = 2, 2, 24
+        X, y, tidx = _case(rng, delta, beta, n)
+        warm = LCM(delta, beta, n_latent=2, seed=0, n_start=2).fit(X[:18], y[:18], tidx[:18])
+        warm.extend(X[18:], y[18:], tidx[18:])
+        # a cold posterior assembled from scratch at the same θ must agree
+        cold = LCM(delta, beta, n_latent=2, seed=0)
+        cold.X, cold.y, cold.task_index, cold.theta = X, y, tidx, warm.theta
+        cold._refactorize(pairwise_sq_diffs(X))
+        Xq = rng.random((5, beta))
+        mu_w, var_w = warm.predict(0, Xq)
+        mu_c, var_c = cold.predict(0, Xq)
+        assert np.allclose(mu_w, mu_c, atol=1e-6)
+        assert np.allclose(var_w, var_c, atol=1e-6)
+
+    def test_extend_validation(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=1, seed=0, n_start=1)
+        with pytest.raises(RuntimeError):
+            m.extend(X[:2], y[:2], tidx[:2])
+        m.fit(X, y, tidx)
+        with pytest.raises(ValueError):
+            m.extend(X[:2], y[:1], tidx[:2])
+        with pytest.raises(ValueError):
+            m.extend(np.zeros((2, 3)), y[:2], tidx[:2])  # wrong dimension
+        with pytest.raises(ValueError):
+            m.extend(X[:2], y[:2], [0, 9])  # task out of range
+        n0 = m.y.shape[0]
+        m.extend(np.empty((0, 1)), np.empty(0), np.empty(0, dtype=int))
+        assert m.y.shape[0] == n0  # no-op append
+
+
+class TestPredictCache:
+    def test_cached_and_cold_predictions_identical(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=1).fit(X, y, tidx)
+        Xq = X[:4] + 0.01
+        mu1, var1 = m.predict(0, Xq)
+        assert 0 in m._pred_cache
+        mu2, var2 = m.predict(0, Xq)
+        assert np.array_equal(mu1, mu2) and np.array_equal(var1, var2)
+        m._pred_cache.clear()
+        mu3, var3 = m.predict(0, Xq)
+        assert np.allclose(mu1, mu3) and np.allclose(var1, var3)
+
+    def test_cache_invalidated_by_fit_and_extend(self, toy_multitask_data):
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=1).fit(X, y, tidx)
+        m.predict(0, X[:2])
+        m.predict(1, X[:2])
+        assert len(m._pred_cache) == 2
+        m.extend(np.array([[0.35]]), np.array([0.2]), [0])
+        assert not m._pred_cache
+        mu, var = m.predict(0, X[:2])
+        assert mu.shape == (2,) and np.all(var >= 0)
+        m.fit(X, y, tidx)
+        assert not m._pred_cache
+
+    def test_pickle_roundtrip_drops_caches(self, toy_multitask_data):
+        import pickle
+
+        X, y, tidx = toy_multitask_data
+        m = LCM(2, 1, n_latent=2, seed=0, n_start=1).fit(X, y, tidx)
+        m.predict(0, X[:2])
+        clone = pickle.loads(pickle.dumps(m))
+        assert not clone._pred_cache
+        mu0, var0 = m.predict(1, X[:3])
+        mu1, var1 = clone.predict(1, X[:3])
+        assert np.allclose(mu0, mu1) and np.allclose(var0, var1)
