@@ -37,6 +37,7 @@ import numpy as np
 from repro.core import GPTune, Options, Real, Space, TuningProblem
 from repro.core.kernels import pairwise_sq_diffs
 from repro.core.lcm import LCM
+from repro.reporting import phase_breakdown
 
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "results", "BENCH_lcm.json"
@@ -176,9 +177,15 @@ def check_warm_refit():
     """Gate: warm refits spend strictly fewer multi-starts, equal quality.
 
     Deterministic: the gate counts L-BFGS starts from ``model-fit`` events
-    rather than comparing wall-clock times.
+    rather than comparing wall-clock times.  Both campaigns run with
+    ``telemetry=True``, so the gate doubles as a regression check that span
+    recording neither changes results nor breaks the driver; the recorded
+    phase/model span totals are returned for the JSON payload.
     """
-    base = dict(seed=0, n_start=2, lbfgs_maxiter=60, pso_iters=8, ei_candidates=16)
+    base = dict(
+        seed=0, n_start=2, lbfgs_maxiter=60, pso_iters=8, ei_candidates=16,
+        telemetry=True,
+    )
     cold = _campaign(Options(**base))
     warm = _campaign(Options(**base, refit_warm_start=True, refit_interval=2))
     cold_starts = cold.events.total("model-fit", "n_starts")
@@ -194,6 +201,14 @@ def check_warm_refit():
           f"best {[f'{v:.6f}' for v in cold_best]} -> "
           f"{[f'{v:.6f}' for v in warm_best]}  "
           f"{'PASS' if passed else 'FAIL'}")
+    spans = {
+        label: phase_breakdown(res.events.events)
+        for label, res in (("cold", cold), ("warm", warm))
+    }
+    for label, bd in spans.items():
+        phases = {k: v for k, v in sorted(bd.items()) if k.startswith(("phase.", "model."))}
+        line = "  ".join(f"{k}={v['total_s'] * 1e3:.1f}ms" for k, v in phases.items())
+        print(f"  spans[{label}]: {line}")
     return {
         "cold_starts": int(cold_starts),
         "warm_starts": int(warm_starts),
@@ -201,7 +216,7 @@ def check_warm_refit():
         "cold_best": [float(v) for v in cold_best],
         "warm_best": [float(v) for v in warm_best],
         "passed": passed,
-    }
+    }, spans
 
 
 def main(argv=None) -> int:
@@ -229,12 +244,13 @@ def main(argv=None) -> int:
     if args.check:
         print("== deterministic gates ==")
         eq = check_equivalence()
-        wr = check_warm_refit()
+        wr, spans = check_warm_refit()
         payload["checks"] = {
             "equivalence": eq,
             "warm_refit": wr,
             "passed": eq["passed"] and wr["passed"],
         }
+        payload["spans"] = spans
         ok = payload["checks"]["passed"]
 
     os.makedirs(os.path.dirname(os.path.abspath(args.out)) or ".", exist_ok=True)

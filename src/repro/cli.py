@@ -8,6 +8,8 @@ artifact appendix's "run one script, read Popt/Oopt" experience::
     python -m repro.cli tune --app pdgeqrf --nodes 4 --samples 10 --seed 1
     python -m repro.cli tune --app hypre --samples 16 --checkpoint run.ck.json
     python -m repro.cli tune --app hypre --checkpoint run.ck.json --resume
+    python -m repro.cli tune --app analytical --samples 16 --telemetry run.jsonl
+    python -m repro.cli report run.jsonl --strict
     python -m repro.cli compare --app superlu_dist --samples 12
     python -m repro.cli sensitivity --app hypre --samples 16
     python -m repro.cli serve --root ./tuning-db --port 8577
@@ -121,6 +123,7 @@ def _cmd_tune(args) -> int:
             retry_attempts=args.retries,
             eval_timeout=args.eval_timeout,
             model_cache_path=args.model_cache,
+            telemetry=bool(args.telemetry),
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -129,20 +132,35 @@ def _cmd_tune(args) -> int:
         problem.failure_value = np.full(problem.n_objectives, float(args.failure_value))
     history = _archive_from(args.history) if args.history else None
     tuner = GPTune(problem, opts, history=history)
-    if args.resume:
-        if not args.checkpoint:
-            raise SystemExit("--resume requires --checkpoint PATH")
-        if not os.path.exists(args.checkpoint):
-            raise SystemExit(f"checkpoint {args.checkpoint!r} not found")
-        try:
-            result = tuner.resume(args.checkpoint)
-        except ValueError as e:
-            raise SystemExit(str(e))
-        tasks = result.data.tasks
-        print(f"resumed from {args.checkpoint}; campaign now has {len(result.data)} evaluations")
-    else:
-        tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
-        result = tuner.tune(tasks, args.samples)
+    sink = None
+    if args.telemetry:
+        from .runtime import JsonlEventWriter
+
+        sink = JsonlEventWriter(args.telemetry)
+        tuner.events.add_sink(sink)
+    try:
+        if args.resume:
+            if not args.checkpoint:
+                raise SystemExit("--resume requires --checkpoint PATH")
+            if not os.path.exists(args.checkpoint):
+                raise SystemExit(f"checkpoint {args.checkpoint!r} not found")
+            try:
+                result = tuner.resume(args.checkpoint)
+            except ValueError as e:
+                raise SystemExit(str(e))
+            tasks = result.data.tasks
+            print(
+                f"resumed from {args.checkpoint}; campaign now has "
+                f"{len(result.data)} evaluations"
+            )
+        else:
+            tasks = _parse_tasks(app, args.tasks, args.random_tasks, args.seed)
+            result = tuner.tune(tasks, args.samples)
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"telemetry: {sink.count} event(s) -> {args.telemetry}")
     for i, t in enumerate(tasks):
         cfg, val = result.best(i)
         print(f"task {json.dumps(t)}")
@@ -206,6 +224,25 @@ def _cmd_sensitivity(args) -> int:
     print(f"{'parameter':>18} {'S1':>8} {'ST':>8}")
     for name, idx in sens.items():
         print(f"{name:>18} {idx['S1']:>8.3f} {idx['ST']:>8.3f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Render the Table-3-style phase report from a telemetry JSONL export."""
+    from .reporting import render_campaign_report
+    from .runtime.trace import CampaignLog
+
+    if not os.path.exists(args.path):
+        raise SystemExit(f"telemetry file {args.path!r} not found")
+    try:
+        log = CampaignLog.load_jsonl(args.path)
+    except ValueError as e:
+        raise SystemExit(str(e))
+    text, ok = render_campaign_report(log, tolerance=args.tolerance)
+    print(text)
+    if args.strict and not ok:
+        print("report: FAIL (span totals disagree with the campaign stats)")
+        return 1
     return 0
 
 
@@ -301,6 +338,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="surrogate-cache file; campaigns sharing it warm-start the "
              "modeling phase from each other's fitted hyperparameters",
     )
+    p_tune.add_argument(
+        "--telemetry", metavar="PATH",
+        help="record timestamped phase/model spans and stream every campaign "
+             "event to this JSONL file (render it with 'repro report PATH')",
+    )
 
     p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")
     common(p_cmp)
@@ -313,6 +355,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8577)
     p_serve.add_argument("--quiet", action="store_true", help="suppress request logging")
+
+    p_report = sub.add_parser(
+        "report", help="phase-time breakdown from a --telemetry JSONL export"
+    )
+    p_report.add_argument("path", help="telemetry JSONL written by 'repro tune --telemetry'")
+    p_report.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when span totals disagree with the campaign "
+             "stats by more than --tolerance",
+    )
+    p_report.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative tolerance of the consistency gate (default 0.05)",
+    )
 
     p_query = sub.add_parser("query", help="inspect an archive / nearest-task lookup")
     p_query.add_argument(
@@ -339,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         serve(args.root, args.host, args.port, verbose=not args.quiet)
         return 0
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "query":
         return _cmd_query(args)
     raise AssertionError  # pragma: no cover

@@ -62,6 +62,7 @@ from .kernels import (
     gaussian_kernel_with_grad,
     pairwise_sq_diffs,
 )
+from ..observability.spans import maybe_span
 
 __all__ = ["LCMParams", "LCM"]
 
@@ -523,10 +524,13 @@ class LCM:
             for s in range(self.n_start)
         ]
         jobs = [(t, sqd, y, tidx) for t in starts]
-        if self.executor is not None:
-            results = list(self.executor.map(self._optimize_one, jobs))
-        else:
-            results = [self._optimize_one(j) for j in jobs]
+        with maybe_span(
+            "model.fit", n=int(X.shape[0]), n_starts=self.n_start, warm=theta0 is not None
+        ):
+            if self.executor is not None:
+                results = list(self.executor.map(self._optimize_one, jobs))
+            else:
+                results = [self._optimize_one(j) for j in jobs]
         best_nll, best_theta, bestL, best_alpha = min(results, key=lambda r: r[0])
 
         self.X, self.y, self.task_index, self.theta = X, y, tidx, best_theta
@@ -597,6 +601,13 @@ class LCM:
             raise ValueError("Xnew dimension differs from fitted inputs")
         if tnew.min() < 0 or tnew.max() >= self.params.delta:
             raise ValueError("task_index out of range")
+        with maybe_span(
+            "model.extend", n_old=int(self.X.shape[0]), n_new=int(Xnew.shape[0])
+        ):
+            return self._extend_impl(Xnew, ynew, tnew)
+
+    def _extend_impl(self, Xnew: np.ndarray, ynew: np.ndarray, tnew: np.ndarray) -> "LCM":
+        """Validated body of :meth:`extend` (split out for span scoping)."""
         _, _, _, dn = self.params.unpack(self.theta)
         n_old, n_new = self.X.shape[0], Xnew.shape[0]
 
@@ -678,17 +689,18 @@ class LCM:
         if not 0 <= task < self.params.delta:
             raise ValueError("task out of range")
         Xstar = np.atleast_2d(np.asarray(Xstar, dtype=float))
-        inv2, w, prior = self._task_weights(task)
-        ns, n = Xstar.shape[0], self.X.shape[0]
-        sqd = pairwise_sq_diffs(Xstar, self.X)
-        # all Q cross-kernels in one contraction, then the weighted latent sum
-        E = np.matmul(inv2, sqd.reshape(ns * n, self.params.beta).T)
-        np.negative(E, out=E)
-        np.exp(E, out=E)
-        Kstar = np.einsum("qnm,qm->nm", E.reshape(self.params.Q, ns, n), w)
-        mu = Kstar @ self._alpha
-        v = sla.solve_triangular(self._L, Kstar.T, lower=True)
-        var = prior - np.einsum("ij,ij->j", v, v)
+        with maybe_span("model.predict", aggregate=True):
+            inv2, w, prior = self._task_weights(task)
+            ns, n = Xstar.shape[0], self.X.shape[0]
+            sqd = pairwise_sq_diffs(Xstar, self.X)
+            # all Q cross-kernels in one contraction, then the weighted latent sum
+            E = np.matmul(inv2, sqd.reshape(ns * n, self.params.beta).T)
+            np.negative(E, out=E)
+            np.exp(E, out=E)
+            Kstar = np.einsum("qnm,qm->nm", E.reshape(self.params.Q, ns, n), w)
+            mu = Kstar @ self._alpha
+            v = sla.solve_triangular(self._L, Kstar.T, lower=True)
+            var = prior - np.einsum("ij,ij->j", v, v)
         return mu, np.maximum(var, 0.0)
 
     def task_correlation(self) -> np.ndarray:

@@ -34,6 +34,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observability import MetricsRegistry, SpanRecorder
+from ..observability.spans import install_recorder, maybe_span
 from ..runtime.resilience import RetryPolicy, RunCheckpoint
 from ..runtime.trace import CampaignLog
 from .acquisition import EIAcquisition
@@ -72,6 +74,12 @@ class TuneResult:
     events:
         The :class:`~repro.runtime.trace.CampaignLog` of resilience events
         (retries, timeouts, model downgrades, checkpoints) from the run.
+        With ``Options(telemetry=True)`` it additionally carries timestamped
+        ``"span"`` phase/model timings and a final ``"stats"`` event.
+    metrics:
+        The driver's :class:`~repro.observability.MetricsRegistry` —
+        evaluation/retry/failure counters and (with telemetry on) span
+        histograms, mergeable into a service-wide registry.
     """
 
     def __init__(
@@ -80,11 +88,13 @@ class TuneResult:
         stats: Dict[str, float],
         models: List[LCM],
         events: Optional[CampaignLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.data = data
         self.stats = dict(stats)
         self.models = models
         self.events = events if events is not None else CampaignLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def best(self, task: int, objective: int = 0) -> Tuple[Dict[str, Any], float]:
         """Best configuration and value for one task (single objective)."""
@@ -218,6 +228,7 @@ class GPTune:
 
             self.model_cache = SurrogateCache(self.options.model_cache_path)
         self.events = CampaignLog()
+        self.metrics = MetricsRegistry()
         self._seeds = np.random.SeedSequence(self.options.seed)
         self._executor = None
         # per-campaign modeling state (reset by tune()): warm-refit carryover
@@ -253,16 +264,21 @@ class GPTune:
         return self._executor
 
     def _evaluate(self, data: TuningData, task: int, cfg: Mapping[str, Any], stats) -> None:
-        outcome = self.problem.evaluate_outcome(data.tasks[task], cfg, retry=self._retry)
+        with maybe_span("phase.evaluation", task=task):
+            outcome = self.problem.evaluate_outcome(data.tasks[task], cfg, retry=self._retry)
         self._record(data, task, cfg, outcome, stats)
 
     def _record(self, data: TuningData, task: int, cfg, outcome, stats) -> None:
-        """Absorb one evaluation outcome: log, stats, data, history."""
+        """Absorb one evaluation outcome: log, stats, data, history, metrics."""
         for kind, detail in outcome.events:
             self.events.record(kind, detail)
+        self.metrics.inc("repro_evaluations_total")
+        if outcome.attempts > 1:
+            self.metrics.inc("repro_eval_retries_total", outcome.attempts - 1)
         stats["objective_wall_time"] += outcome.wall_time
         stats["n_retries"] += outcome.attempts - 1
         if outcome.failed:
+            self.metrics.inc("repro_eval_failures_total", kind=outcome.failure_kind or "")
             stats["n_eval_failures"] += 1
         y = outcome.value
         stats["objective_time"] += float(y[0])
@@ -380,6 +396,28 @@ class GPTune:
                 raise ValueError(
                     f"checkpoint budget {_resume.n_samples} != requested {n_samples}"
                 )
+        recorder: Optional[SpanRecorder] = None
+        prev_recorder = None
+        if self.options.telemetry:
+            recorder = SpanRecorder(log=self.events, metrics=self.metrics)
+            prev_recorder = install_recorder(recorder)
+        try:
+            return self._tune_impl(tasks, n_samples, preload, frozen, callback, _resume)
+        finally:
+            if recorder is not None:
+                recorder.flush()
+                install_recorder(prev_recorder)
+
+    def _tune_impl(
+        self,
+        tasks: Sequence[Any],
+        n_samples: int,
+        preload: Optional[Sequence[Mapping[str, Any]]],
+        frozen: Optional[Sequence[int]],
+        callback: Optional[Any],
+        _resume: Optional[RunCheckpoint],
+    ) -> TuneResult:
+        """The MLA loop proper (:meth:`tune` handles validation/telemetry)."""
         gamma = self.problem.n_objectives
         data = TuningData(
             self.problem.task_space, self.problem.tuning_space, tasks, n_objectives=gamma
@@ -435,13 +473,20 @@ class GPTune:
         # -- sampling phase ------------------------------------------------
         eps_init = max(2, int(round(n_samples * self.options.initial_fraction)))
         if any(eps_init - data.n_samples(i) > 0 for i in active):
-            sampler = LHSSampler(self.problem.tuning_space, seed=self._child_seed())
-            for i in active:
-                need = eps_init - data.n_samples(i)
-                if need <= 0:
-                    continue
-                for cfg in sampler.sample(need, extra=data.tasks[i]):
-                    self._evaluate(data, i, cfg, stats)
+            # design generation is the "sampling" span; the objective runs it
+            # feeds are "evaluation" spans — disjoint, Table-3 style
+            with maybe_span("phase.sampling", eps_init=eps_init) as sp:
+                sampler = LHSSampler(self.problem.tuning_space, seed=self._child_seed())
+                design: List[Tuple[int, Dict[str, Any]]] = []
+                for i in active:
+                    need = eps_init - data.n_samples(i)
+                    if need <= 0:
+                        continue
+                    for cfg in sampler.sample(need, extra=data.tasks[i]):
+                        design.append((i, cfg))
+                sp.annotate(n_configs=len(design))
+            for i, cfg in design:
+                self._evaluate(data, i, cfg, stats)
 
         # -- MLA iterations ----------------------------------------------------
         models: List[LCM] = []
@@ -470,7 +515,14 @@ class GPTune:
         stats["total_time"] = (
             stats["objective_time"] + stats["modeling_time"] + stats["search_time"]
         )
-        return TuneResult(data, stats, models, events=self.events)
+        # the final stats event makes an exported telemetry file self-contained:
+        # `repro report` checks the span sums against these authoritative totals
+        self.events.record(
+            "stats",
+            "campaign phase totals",
+            **{k: float(v) for k, v in stats.items()},
+        )
+        return TuneResult(data, stats, models, events=self.events, metrics=self.metrics)
 
     def resume(
         self,
@@ -518,6 +570,13 @@ class GPTune:
         any phase where extension is impossible) runs a full fit, warm-started
         from the previous optimum when ``options.refit_warm_start`` is on.
         """
+        with maybe_span("phase.modeling", n=data.n_samples()):
+            return self._fit_models_impl(data, stats, featurizer)
+
+    def _fit_models_impl(
+        self, data: TuningData, stats, featurizer: Optional[ModelFeaturizer]
+    ) -> Tuple[List[LCM], List[_YTransform], List[np.ndarray]]:
+        """Body of :meth:`_fit_models` (split out for phase-span scoping)."""
         t0 = time.perf_counter()
         gamma = data.n_objectives
         X, _, tidx = data.stacked(0)
@@ -785,28 +844,29 @@ class GPTune:
 
         t0 = time.perf_counter()
         proposals: List[Tuple[int, Dict[str, Any]]] = []
-        for i in active if active is not None else range(data.n_tasks):
-            acq = EIAcquisition(
-                self._predict_unit(lcm, i, data.tasks[i], featurizer),
-                y_best=float(ybests[0][i]),
-                feasibility=self.problem.feasibility_on_unit(data.tasks[i]),
-            )
-            pso = ParticleSwarm(
-                dim=data.tuning_space.dimension,
-                n_particles=self.options.ei_candidates,
-                iterations=self.options.pso_iters,
-                seed=self._child_seed(),
-            )
-            seeds = data.tuning_space.normalize(data.best(i)[0])[None, :]
-            xunit, _ = pso.maximize(acq, x0=seeds)
-            q = self.options.batch_evals
-            if q > 1:
-                for u in pso.top_batch(q):
-                    cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
+        with maybe_span("phase.search", algo="pso-ei"):
+            for i in active if active is not None else range(data.n_tasks):
+                acq = EIAcquisition(
+                    self._predict_unit(lcm, i, data.tasks[i], featurizer),
+                    y_best=float(ybests[0][i]),
+                    feasibility=self.problem.feasibility_on_unit(data.tasks[i]),
+                )
+                pso = ParticleSwarm(
+                    dim=data.tuning_space.dimension,
+                    n_particles=self.options.ei_candidates,
+                    iterations=self.options.pso_iters,
+                    seed=self._child_seed(),
+                )
+                seeds = data.tuning_space.normalize(data.best(i)[0])[None, :]
+                xunit, _ = pso.maximize(acq, x0=seeds)
+                q = self.options.batch_evals
+                if q > 1:
+                    for u in pso.top_batch(q):
+                        cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
+                        proposals.append((i, cfg))
+                else:
+                    cfg = self._dedup(data, i, data.tuning_space.denormalize(xunit))
                     proposals.append((i, cfg))
-            else:
-                cfg = self._dedup(data, i, data.tuning_space.denormalize(xunit))
-                proposals.append((i, cfg))
         stats["search_time"] += time.perf_counter() - t0
 
         self._evaluate_batch(data, proposals, stats)
@@ -819,11 +879,12 @@ class GPTune:
         t0 = time.perf_counter()
         rng = np.random.default_rng(self._child_seed())
         proposals: List[Tuple[int, Dict[str, Any]]] = []
-        for i in active if active is not None else range(data.n_tasks):
-            for cand in sample_feasible(
-                data.tuning_space, per_task, rng, extra=data.tasks[i]
-            ):
-                proposals.append((i, self._dedup(data, i, cand)))
+        with maybe_span("phase.search", algo="random"):
+            for i in active if active is not None else range(data.n_tasks):
+                for cand in sample_feasible(
+                    data.tuning_space, per_task, rng, extra=data.tasks[i]
+                ):
+                    proposals.append((i, self._dedup(data, i, cand)))
         stats["search_time"] += time.perf_counter() - t0
         return proposals
 
@@ -839,10 +900,11 @@ class GPTune:
             for i, cfg in proposals:
                 self._evaluate(data, i, cfg, stats)
             return
-        outcomes = executor.map(
-            _BatchEval(self.problem, [data.tasks[i] for i, _ in proposals], self._retry),
-            list(enumerate(cfg for _, cfg in proposals)),
-        )
+        with maybe_span("phase.evaluation", n=len(proposals), concurrent=True):
+            outcomes = executor.map(
+                _BatchEval(self.problem, [data.tasks[i] for i, _ in proposals], self._retry),
+                list(enumerate(cfg for _, cfg in proposals)),
+            )
         for (i, cfg), outcome in zip(proposals, outcomes):
             self._record(data, i, cfg, outcome, stats)
 
@@ -875,6 +937,27 @@ class GPTune:
             return models
 
         t0 = time.perf_counter()
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        with maybe_span("phase.search", algo="nsga2"):
+            proposals.extend(
+                self._search_multi(data, models, featurizer, active, gamma, k)
+            )
+        stats["search_time"] += time.perf_counter() - t0
+
+        for i, cfg in proposals:
+            self._evaluate(data, i, cfg, stats)
+        return models
+
+    def _search_multi(
+        self,
+        data: TuningData,
+        models: List[LCM],
+        featurizer: Optional[ModelFeaturizer],
+        active: Optional[Sequence[int]],
+        gamma: int,
+        k: int,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """NSGA-II Pareto search over every active task (Algorithm 2 body)."""
         proposals: List[Tuple[int, Dict[str, Any]]] = []
         for i in active if active is not None else range(data.n_tasks):
             predicts = [
@@ -909,11 +992,7 @@ class GPTune:
             for u in picks:
                 cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
                 proposals.append((i, cfg))
-        stats["search_time"] += time.perf_counter() - t0
-
-        for i, cfg in proposals:
-            self._evaluate(data, i, cfg, stats)
-        return models
+        return proposals
 
     @staticmethod
     def _pick_k(Xf: np.ndarray, Ff: np.ndarray, k: int) -> np.ndarray:

@@ -119,6 +119,15 @@ class Options:
         larger values trade hyperparameter freshness for modeling time.
         Iterations with performance models attached always refit (the
         enriched inputs change wholesale).
+    telemetry:
+        Record timestamped phase/model/backoff spans into the campaign log
+        while tuning (see :mod:`repro.observability.spans`): the four driver
+        phases (sampling, modeling, search, evaluation), every LCM fit /
+        extend plus aggregated predict totals, and retry-backoff waits, all
+        with wall-clock and monotonic stamps.  Off (the default) costs
+        nothing measurable.  The CLI's ``--telemetry out.jsonl`` turns this
+        on and streams the log to a JSONL file that ``repro report`` renders
+        into the Table-3-style phase breakdown.
     verbose:
         Print per-iteration progress.
     """
@@ -152,6 +161,7 @@ class Options:
     refit_warm_start: bool = False
     refit_warm_n_start: int = 1
     refit_interval: int = 1
+    telemetry: bool = False
     verbose: bool = False
 
     def __post_init__(self) -> None:

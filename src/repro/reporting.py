@@ -7,6 +7,12 @@ charts for scaling curves (Fig. 3), and bar charts for per-task ratios
 (Fig. 6) — so `python -m repro.reporting benchmarks/results` reproduces the
 *figures*, not just the numbers, in any terminal.
 
+It also renders **campaign telemetry**: ``repro report run.jsonl`` turns a
+telemetry export (``repro tune --telemetry run.jsonl``) into the paper's
+Table-3-style phase-time breakdown — phase seconds and percentages from the
+recorded spans alone, a model/resilience event summary, and a consistency
+check of the span sums against the campaign's final ``"stats"`` event.
+
 All renderers are pure functions from data to strings, which also makes
 them unit-testable.
 """
@@ -19,7 +25,16 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "line_chart", "scatter_plot", "render_results_dir", "main"]
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "scatter_plot",
+    "phase_breakdown",
+    "check_phase_stats",
+    "render_campaign_report",
+    "render_results_dir",
+    "main",
+]
 
 
 def bar_chart(
@@ -136,6 +151,168 @@ def line_chart(
     """Shared-x multi-series chart (markers only; x must be increasing)."""
     pts = {name: (xs, ys) for name, ys in series.items()}
     return scatter_plot(pts, title=title, width=width, height=height, logy=logy)
+
+
+# -- campaign telemetry report -------------------------------------------------
+
+#: phase spans whose totals correspond 1:1 to TuneResult.stats wall times
+PHASE_STATS_KEYS = {
+    "phase.modeling": "modeling_time",
+    "phase.search": "search_time",
+    "phase.evaluation": "objective_wall_time",
+}
+
+#: resilience / model event kinds summarized by the campaign report
+_SUMMARY_KINDS = (
+    "retry",
+    "timeout",
+    "exception",
+    "nonfinite",
+    "eval-failure",
+    "worker-death",
+    "model-fit",
+    "model-extend",
+    "model-downgrade",
+    "model-cache-hit",
+    "model-cache-store",
+    "checkpoint",
+    "resume",
+)
+
+
+def phase_breakdown(events) -> Dict[str, Dict[str, float]]:
+    """Aggregate span durations per name from a telemetry event stream.
+
+    Sums both individual ``"span"`` events (``dur_s`` field) and aggregated
+    ``"span-summary"`` events (``count``/``total_s`` fields, emitted for
+    hot-path spans like ``model.predict``).  Returns
+    ``{name: {"count": n, "total_s": seconds}}``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for ev in events:
+        if ev.kind == "span":
+            name, cnt = ev.fields.get("name"), 1
+            dur = float(ev.fields.get("dur_s", 0.0))
+        elif ev.kind == "span-summary":
+            name, cnt = ev.fields.get("name"), int(ev.fields.get("count", 0))
+            dur = float(ev.fields.get("total_s", 0.0))
+        else:
+            continue
+        if not name:
+            continue
+        acc = out.setdefault(str(name), {"count": 0, "total_s": 0.0})
+        acc["count"] += cnt
+        acc["total_s"] += dur
+    return out
+
+
+def check_phase_stats(
+    breakdown: Dict[str, Dict[str, float]],
+    stats: Dict[str, float],
+    tolerance: float = 0.05,
+) -> Tuple[bool, List[str]]:
+    """Compare span phase totals against the campaign's ``stats`` event.
+
+    The gate compares the *sum* over the mapped phases
+    (:data:`PHASE_STATS_KEYS`) against the sum of the corresponding stats
+    wall times; per-phase deltas are reported as information only (a span
+    around a microsecond-fast objective is dominated by its own overhead,
+    so per-phase relative error is meaningless at that scale).  Returns
+    ``(ok, lines)``; ``ok`` is False when the sums disagree by more than
+    ``tolerance`` (relative) or when either side is missing.
+    """
+    lines: List[str] = []
+    if not stats:
+        return False, ["no 'stats' event in telemetry (campaign incomplete?)"]
+    span_sum = 0.0
+    stats_sum = 0.0
+    for span_name, stats_key in PHASE_STATS_KEYS.items():
+        s = breakdown.get(span_name, {}).get("total_s", 0.0)
+        t = float(stats.get(stats_key, 0.0))
+        span_sum += s
+        stats_sum += t
+        delta = abs(s - t)
+        rel = delta / t if t > 0 else (0.0 if delta == 0 else math.inf)
+        lines.append(
+            f"{span_name:18s} spans {s:10.4f}s   stats.{stats_key} {t:10.4f}s   "
+            f"delta {delta * 1e3:8.3f}ms"
+        )
+        _ = rel  # per-phase error is informational only; the gate is on sums
+    if stats_sum <= 0:
+        ok = span_sum <= 0 or span_sum < 1e-3
+        rel_total = 0.0 if ok else math.inf
+    else:
+        rel_total = abs(span_sum - stats_sum) / stats_sum
+        ok = rel_total <= tolerance
+    lines.append(
+        f"{'total':18s} spans {span_sum:10.4f}s   stats        {stats_sum:10.4f}s   "
+        f"rel {rel_total * 100:6.2f}% ({'OK' if ok else f'>{tolerance * 100:.0f}% MISMATCH'})"
+    )
+    return ok, lines
+
+
+def render_campaign_report(log, tolerance: float = 0.05) -> Tuple[str, bool]:
+    """Render the Table-3-style report for one telemetry event log.
+
+    Parameters
+    ----------
+    log:
+        A :class:`~repro.runtime.trace.CampaignLog`, typically loaded from a
+        ``repro tune --telemetry`` JSONL export via
+        :meth:`~repro.runtime.trace.CampaignLog.load_jsonl`.
+    tolerance:
+        Relative tolerance of the span-vs-stats consistency gate.
+
+    Returns ``(text, consistent)`` — the rendered report and whether the
+    phase spans agree with the recorded campaign stats within tolerance.
+    """
+    events = log.events
+    breakdown = phase_breakdown(events)
+    stats: Dict[str, float] = {}
+    for ev in events:
+        if ev.kind == "stats":
+            stats = {k: float(v) for k, v in ev.fields.items()}
+
+    sections: List[str] = []
+    phases = {k: v for k, v in sorted(breakdown.items()) if k.startswith("phase.")}
+    total = sum(v["total_s"] for v in phases.values())
+    rows = [
+        (name.split(".", 1)[1], int(v["count"]), v["total_s"],
+         100.0 * v["total_s"] / total if total > 0 else 0.0)
+        for name, v in phases.items()
+    ]
+    tbl = ["phase breakdown (from spans)", f"{'phase':>12}  {'count':>6}  {'seconds':>10}  {'%':>6}"]
+    for name, cnt, secs, pct in rows:
+        tbl.append(f"{name:>12}  {cnt:6d}  {secs:10.4f}  {pct:6.1f}")
+    tbl.append(f"{'total':>12}  {'':6}  {total:10.4f}  {100.0 if total > 0 else 0.0:6.1f}")
+    sections.append("\n".join(tbl))
+    if rows:
+        sections.append(
+            bar_chart([r[0] for r in rows], [r[2] for r in rows], title="phase seconds")
+        )
+
+    model = {k: v for k, v in sorted(breakdown.items()) if k.startswith("model.")}
+    if model:
+        lines = ["model spans"]
+        for name, v in model.items():
+            lines.append(f"{name:>15}  count {int(v['count']):5d}  total {v['total_s']:.4f}s")
+        sections.append("\n".join(lines))
+
+    counts = log.counts()
+    lines = ["events"]
+    for kind in _SUMMARY_KINDS:
+        if counts.get(kind):
+            lines.append(f"{kind:>18}  {counts[kind]}")
+    n_starts = log.total("model-fit", "n_starts")
+    if counts.get("model-fit"):
+        lines.append(f"{'L-BFGS multi-starts':>18}  {n_starts}")
+    if len(lines) == 1:
+        lines.append("(none)")
+    sections.append("\n".join(lines))
+
+    ok, check_lines = check_phase_stats(breakdown, stats, tolerance=tolerance)
+    sections.append("\n".join(["consistency (spans vs stats event)"] + check_lines))
+    return "\n\n".join(sections), ok
 
 
 # -- results-directory renderer ------------------------------------------------

@@ -25,12 +25,13 @@ from .resilience import (
     run_with_retries,
 )
 from .simclock import SimClock
-from .trace import CampaignEvent, CampaignLog, TraceEvent, Tracer, traced
+from .trace import CampaignEvent, CampaignLog, JsonlEventWriter, TraceEvent, Tracer, traced
 
 __all__ = [
     "CampaignEvent",
     "CampaignLog",
     "EvalOutcome",
+    "JsonlEventWriter",
     "EvalTimeoutError",
     "FatalEvaluationError",
     "InterComm",

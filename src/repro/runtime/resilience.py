@@ -23,15 +23,19 @@ layers can depend on it without cycles.
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
+import itertools
 import json
 import os
+import queue
 import tempfile
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from ..observability.spans import maybe_span
 
 __all__ = [
     "EvalOutcome",
@@ -140,25 +144,138 @@ class EvalOutcome:
         return self.failure_kind is not None
 
 
+class _ResultBox:
+    """One-shot result slot a caller waits on (with a timeout)."""
+
+    __slots__ = ("value", "error", "_done")
+
+    def __init__(self):
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def finish(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        """Publish the call's outcome and wake the waiter."""
+        self.value, self.error = value, error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        """True when the call completed within ``timeout`` seconds."""
+        return self._done.wait(timeout)
+
+
+class _EvalWorker(threading.Thread):
+    """One reusable, named daemon thread running timed objective calls.
+
+    After finishing a job the worker returns itself to its pool's idle list
+    — *even when the caller already gave up on it* — so a timed-out
+    evaluation parks one worker only until the abandoned objective returns,
+    instead of leaking a fresh thread per timeout.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, pool: "_EvalWorkerPool"):
+        super().__init__(name=f"repro-eval-worker-{next(self._ids)}", daemon=True)
+        self._pool = pool
+        self._inbox: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.start()
+
+    def submit(self, call: Callable[[], Any]) -> _ResultBox:
+        """Hand the worker one call; returns the box its outcome lands in."""
+        box = _ResultBox()
+        self._inbox.put((call, box))
+        return box
+
+    def retire(self) -> None:
+        """Ask the worker to exit once it drains its inbox."""
+        self._inbox.put(None)
+
+    def run(self) -> None:
+        while True:
+            job = self._inbox.get()
+            if job is None:
+                return
+            call, box = job
+            try:
+                box.finish(value=call())
+            except BaseException as e:  # noqa: BLE001 - relayed to the waiter
+                box.finish(error=e)
+            self._pool._release(self)
+
+
+class _EvalWorkerPool:
+    """Reusable daemon workers for per-evaluation timeouts.
+
+    The old implementation built a fresh single-thread executor per
+    evaluation and ``shutdown(wait=False)`` on timeout — every timed-out
+    evaluation leaked a live thread still running the objective, so a long
+    flaky campaign accumulated threads without bound.  Here a worker whose
+    caller timed out simply rejoins the idle list when the abandoned
+    objective eventually returns; the next evaluation reuses it.  Only
+    objectives that never return at all can hold workers forever — and they
+    hold exactly one each, which no portable design can avoid (Python cannot
+    kill a thread).
+
+    ``max_idle`` bounds the parked-thread count; surplus workers retire.
+    ``created`` counts workers ever spawned — the test suite pins it to stay
+    flat across dozens of simulated timeouts.
+    """
+
+    def __init__(self, max_idle: int = 4):
+        self.max_idle = int(max_idle)
+        self.created = 0
+        self._idle: List[_EvalWorker] = []
+        self._lock = threading.Lock()
+
+    def _acquire(self) -> _EvalWorker:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+            self.created += 1
+        return _EvalWorker(self)
+
+    def _release(self, worker: _EvalWorker) -> None:
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(worker)
+                return
+        worker.retire()
+
+    def idle_count(self) -> int:
+        """Number of parked (reusable) workers."""
+        with self._lock:
+            return len(self._idle)
+
+    def run(self, call: Callable[[], Any], timeout: float) -> Any:
+        """Run ``call`` on a pooled worker with a wall-clock cap."""
+        worker = self._acquire()
+        box = worker.submit(call)
+        if not box.wait(timeout):
+            # Abandon, don't reuse: the worker rejoins the pool by itself
+            # once the objective returns.  Its eventual result is discarded.
+            raise EvalTimeoutError(f"evaluation exceeded {timeout:g}s")
+        if box.error is not None:
+            raise box.error
+        return box.value
+
+
+#: Process-wide pool shared by every retried evaluation.
+_EVAL_POOL = _EvalWorkerPool()
+
+
 def _call_with_timeout(call: Callable[[], Any], timeout: Optional[float]) -> Any:
     """Run ``call`` with an optional wall-clock cap.
 
-    A timed-out call's thread keeps running in the background (Python cannot
-    kill threads); its eventual result is discarded.
+    A timed-out call keeps running on its (reusable, daemon) worker thread
+    in the background — Python cannot kill threads — and its eventual result
+    is discarded; the worker returns to the shared pool afterwards.  An
+    objective that raises :class:`TimeoutError` *itself* within the budget
+    propagates that original error, not :class:`EvalTimeoutError`.
     """
     if timeout is None:
         return call()
-    pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
-    try:
-        fut = pool.submit(call)
-        try:
-            return fut.result(timeout=timeout)
-        except TimeoutError:
-            if fut.done():  # the objective itself raised a TimeoutError
-                raise
-            raise EvalTimeoutError(f"evaluation exceeded {timeout:g}s") from None
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    return _EVAL_POOL.run(call, timeout)
 
 
 def run_with_retries(
@@ -173,6 +290,12 @@ def run_with_retries(
     up to ``policy.max_attempts`` with the policy's deterministic backoff;
     :class:`FatalEvaluationError` is never retried.  On exhaustion the
     returned outcome has ``value=None`` and the last failure's kind/error.
+
+    Every failed attempt records a per-attempt event of its failure kind
+    (``"timeout"``, ``"exception"``, ``"nonfinite"``) before any ``"retry"``
+    event, so a campaign log shows *what each attempt did*, not just the
+    final classification.  Backoff waits are timed as ``"retry.backoff"``
+    spans when telemetry is on.
     """
     policy = policy or RetryPolicy()
     events: List[Tuple[str, str]] = []
@@ -190,6 +313,7 @@ def run_with_retries(
             events.append(("timeout", f"attempt {attempt}: {e}"))
         except Exception as e:
             kind, error, message = "exception", e, f"{type(e).__name__}: {e}"
+            events.append(("exception", f"attempt {attempt}: {message}"))
         else:
             y = np.atleast_1d(np.asarray(y, dtype=float))
             if np.all(np.isfinite(y)):
@@ -200,13 +324,15 @@ def run_with_retries(
                     events=events,
                 )
             kind, error, message = "nonfinite", None, f"non-finite value {y}"
+            events.append(("nonfinite", f"attempt {attempt}: {message}"))
         if attempt < policy.max_attempts:
             delay = policy.delay(attempt)
             events.append(
                 ("retry", f"attempt {attempt} failed ({kind}); backoff {delay:.3g}s")
             )
             if delay > 0:
-                sleep(delay)
+                with maybe_span("retry.backoff", attempt=attempt, delay_s=delay):
+                    sleep(delay)
     events.append(
         ("eval-failure", f"{policy.max_attempts} attempt(s) exhausted ({kind}: {message})")
     )

@@ -12,12 +12,18 @@ GET       ``/v1/stats``                 store-wide counts, etags, byte sizes
 GET       ``/v1/problems``              archived problem names
 GET       ``/v1/records/<problem>``     all records (+ rids); honors
                                         ``If-None-Match`` → ``304 Not Modified``
+GET       ``/metrics``                  Prometheus text exposition of the
+                                        server's :class:`MetricsRegistry`
 POST      ``/v1/records/<problem>``     append ``{"records": [...]}``; honors
                                         ``If-Match`` → ``412`` on a stale etag
 POST      ``/v1/query/<problem>``       nearest-task lookup
                                         ``{"task": {...}, "k": N}``
 POST      ``/v1/compact/<problem>``     compact one shard
 ========  ============================  =========================================
+
+Every request is counted into ``repro_http_requests_total{method, endpoint,
+status}`` and timed into the ``repro_http_request_seconds`` histogram, so a
+Prometheus scrape of ``/metrics`` sees per-endpoint traffic and latency.
 
 Every record response carries the shard's **ETag** — the content-defined
 version token of :meth:`~repro.service.store.ShardedStore.etag`.  A client
@@ -38,10 +44,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import unquote
 
+from ..observability import MetricsRegistry
 from .query import nearest_tasks
 from .store import ShardedStore
 
@@ -66,6 +74,7 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _reply(self, status: int, payload: Dict[str, Any], etag: Optional[str] = None) -> None:
+        self._last_status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -101,8 +110,50 @@ class _Handler(BaseHTTPRequestHandler):
     def _header_etag(value: Optional[str]) -> Optional[str]:
         return value.strip().strip('"') if value else None
 
+    def _endpoint(self) -> str:
+        if self.path.split("?")[0].rstrip("/") == "/metrics":
+            return "metrics"
+        verb, _ = self._route()
+        return verb or "unknown"
+
+    def _timed(self, method: str, handler: Callable[[], None]) -> None:
+        """Run one request handler, recording count and latency metrics."""
+        self._last_status = 0
+        t0 = time.perf_counter()
+        try:
+            handler()
+        finally:
+            metrics = self.server.metrics  # type: ignore[attr-defined]
+            labels = {"method": method, "endpoint": self._endpoint()}
+            metrics.inc(
+                "repro_http_requests_total", status=str(self._last_status), **labels
+            )
+            metrics.observe(
+                "repro_http_request_seconds", time.perf_counter() - t0, **labels
+            )
+
+    def _reply_metrics(self) -> None:
+        self._last_status = 200
+        body = self.server.metrics.render_text().encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- methods -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        """Dispatch a GET request (instrumented)."""
+        self._timed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        """Dispatch a POST request (instrumented)."""
+        self._timed("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
+        if self._endpoint() == "metrics":
+            self._reply_metrics()
+            return
         verb, problem = self._route()
         if verb == "stats" and problem is None:
             self._reply(200, self.store.stats())
@@ -122,7 +173,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"unknown endpoint {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+    def _handle_post(self) -> None:
         verb, problem = self._route()
         try:
             payload = self._body()
@@ -186,7 +237,12 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class TuningHistoryServer(ThreadingHTTPServer):
-    """Threaded HTTP server owning one :class:`ShardedStore`."""
+    """Threaded HTTP server owning one :class:`ShardedStore`.
+
+    Carries a :class:`~repro.observability.MetricsRegistry` fed by the
+    request handlers and exposed at ``GET /metrics`` in Prometheus text
+    format — the registry is thread-safe, matching the threading server.
+    """
 
     daemon_threads = True
 
@@ -200,6 +256,7 @@ class TuningHistoryServer(ThreadingHTTPServer):
         self.store = store
         self.verbose = verbose
         self.append_mutex = threading.Lock()
+        self.metrics = MetricsRegistry()
 
 
 def make_server(

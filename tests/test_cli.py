@@ -58,6 +58,53 @@ class TestTune:
         assert '"matrix": "Si2"' in capsys.readouterr().out
 
 
+class TestTelemetryAndReport:
+    def test_tune_streams_telemetry_and_report_renders_it(self, capsys, tmp_path):
+        telemetry = tmp_path / "run.jsonl"
+        checkpoint = tmp_path / "run.ck.json"
+        rc = main(
+            ["tune", "--app", "analytical", "--tasks", "0.5;1.5", "--samples", "8",
+             "--n-start", "1", "--telemetry", str(telemetry),
+             "--checkpoint", str(checkpoint)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert checkpoint.exists()
+        lines = [json.loads(l) for l in telemetry.read_text().splitlines()]
+        kinds = {l["kind"] for l in lines}
+        assert {"span", "span-summary", "stats", "checkpoint"} <= kinds
+
+        # the report reproduces the phase breakdown from the JSONL alone
+        rc = main(["report", str(telemetry), "--strict"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown (from spans)" in out
+        for phase in ("sampling", "modeling", "search", "evaluation"):
+            assert phase in out
+        assert "consistency (spans vs stats event)" in out
+        assert "OK" in out
+
+    def test_report_strict_fails_on_inconsistent_stats(self, capsys, tmp_path):
+        telemetry = tmp_path / "bad.jsonl"
+        events = [
+            {"seq": 0, "kind": "span", "detail": "phase.modeling 1000ms",
+             "fields": {"name": "phase.modeling", "dur_s": 1.0}},
+            {"seq": 1, "kind": "stats", "detail": "campaign phase totals",
+             "fields": {"modeling_time": 2.0, "search_time": 0.0,
+                        "objective_wall_time": 0.0}},
+        ]
+        telemetry.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert main(["report", str(telemetry)]) == 0  # informational by default
+        capsys.readouterr()
+        assert main(["report", str(telemetry), "--strict"]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_report_missing_file_errors(self):
+        with pytest.raises(SystemExit):
+            main(["report", "/nonexistent/run.jsonl"])
+
+
 class TestSensitivity:
     def test_prints_sorted_indices(self, capsys):
         rc = main(

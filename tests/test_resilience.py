@@ -129,7 +129,7 @@ class TestRunWithRetries:
         out = run_with_retries(call, policy, sleep=slept.append)
         assert not out.failed and out.attempts == 3
         assert out.value[0] == 2.5
-        assert [k for k, _ in out.events] == ["retry", "retry"]
+        assert [k for k, _ in out.events] == ["exception", "retry", "exception", "retry"]
         assert slept == pytest.approx(policy.schedule(2))
 
     def test_exhausted_keeps_last_error(self):
@@ -140,7 +140,13 @@ class TestRunWithRetries:
         assert out.failed and out.failure_kind == "exception"
         assert isinstance(out.error, RuntimeError)
         assert out.value is None
-        assert [k for k, _ in out.events] == ["retry", "eval-failure"]
+        assert [k for k, _ in out.events] == [
+            "exception", "retry", "exception", "eval-failure",
+        ]
+        # each per-attempt record names what that attempt raised
+        assert all(
+            "RuntimeError: persistent" in d for k, d in out.events if k == "exception"
+        )
 
     def test_nonfinite_is_retryable(self):
         state = {"n": 0}
@@ -157,6 +163,75 @@ class TestRunWithRetries:
             lambda: time.sleep(0.5) or [1.0], RetryPolicy(max_attempts=1, timeout=0.05)
         )
         assert out.failed and out.failure_kind == "timeout"
+
+    def test_timeout_event_sequence_pinned(self):
+        out = run_with_retries(
+            lambda: time.sleep(0.2) or [1.0], RetryPolicy(max_attempts=2, timeout=0.02)
+        )
+        assert out.failed and out.failure_kind == "timeout"
+        assert [k for k, _ in out.events] == [
+            "timeout", "retry", "timeout", "eval-failure",
+        ]
+
+    def test_nonfinite_event_sequence_pinned(self):
+        out = run_with_retries(lambda: [float("nan")], RetryPolicy(max_attempts=2))
+        assert out.failed and out.failure_kind == "nonfinite"
+        assert [k for k, _ in out.events] == [
+            "nonfinite", "retry", "nonfinite", "eval-failure",
+        ]
+
+
+class TestEvalWorkerPool:
+    """The shared timed-evaluation worker pool (the zombie-thread fix)."""
+
+    def test_timed_out_workers_are_reused_not_leaked(self):
+        """50 simulated timeouts must not grow the worker population.
+
+        Each objective outlives its timeout but *does* finish; the abandoned
+        worker must then rejoin the pool and serve the next evaluation.  The
+        old fresh-executor-per-evaluation design spawned one thread per
+        timeout here.
+        """
+        import threading
+
+        from repro.runtime.resilience import _EVAL_POOL
+
+        created_before = _EVAL_POOL.created
+        policy = RetryPolicy(max_attempts=1, timeout=0.002)
+        for _ in range(50):
+            out = run_with_retries(lambda: time.sleep(0.02) or [1.0], policy)
+            assert out.failed and out.failure_kind == "timeout"
+            time.sleep(0.025)  # let the abandoned objective finish + worker park
+        # a couple of workers at most — not one per timeout
+        assert _EVAL_POOL.created - created_before <= 3
+        live = [
+            t for t in threading.enumerate()
+            if t.name.startswith("repro-eval-worker")
+        ]
+        assert len(live) <= _EVAL_POOL.max_idle + 1
+        assert all(t.daemon for t in live)
+
+    def test_worker_result_after_timeout_is_discarded(self):
+        calls = []
+
+        def obj():
+            calls.append(1)
+            time.sleep(0.03)
+            return [7.0]
+
+        out = run_with_retries(obj, RetryPolicy(max_attempts=1, timeout=0.005))
+        assert out.failed and out.value is None
+        time.sleep(0.05)  # the background completion must not resurface
+        assert out.value is None and len(calls) == 1
+
+    def test_objective_raising_timeouterror_propagates_as_is(self):
+        def obj():
+            raise TimeoutError("from inside the objective")
+
+        out = run_with_retries(obj, RetryPolicy(max_attempts=1, timeout=5.0))
+        # classified as the objective's own failure, not an eval timeout
+        assert out.failed
+        assert "from inside the objective" in out.message
 
     def test_fatal_error_never_retried(self):
         state = {"n": 0}

@@ -4,6 +4,7 @@ through the service, with no lost or corrupted records."""
 
 import json
 import threading
+import urllib.request
 
 import pytest
 
@@ -119,6 +120,48 @@ class TestRoundTrips:
             client.append("qr", [{"task": {}, "x": {}}])  # no y
         assert err.value.status == 400
         assert client.count("qr") == 0
+
+
+class TestMetricsEndpoint:
+    """GET /metrics serves Prometheus text fed by per-request instrumentation."""
+
+    def test_scrape_exposes_request_counters(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        client.problems()
+        status, _, _ = client._request("GET", client.base_url + "/v1/nope")
+        assert status == 404
+
+        resp = urllib.request.urlopen(client.base_url + "/metrics")
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = resp.read().decode("utf-8")
+
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert ('repro_http_requests_total{endpoint="records",method="POST",'
+                'status="200"} 1') in text
+        assert ('repro_http_requests_total{endpoint="problems",method="GET",'
+                'status="200"} 1') in text
+        assert ('repro_http_requests_total{endpoint="nope",method="GET",'
+                'status="404"} 1') in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'repro_http_request_seconds_bucket{endpoint="problems",method="GET",le="+Inf"} 1' in text
+        assert 'repro_http_request_seconds_count{endpoint="problems",method="GET"} 1' in text
+
+        # every sample line is parseable exposition: name{labels} value
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name_part[0].isalpha() or name_part[0] == "_"
+
+    def test_metrics_scrape_counts_itself_next_time(self, service):
+        client, _ = service
+        urllib.request.urlopen(client.base_url + "/metrics").read()
+        text = urllib.request.urlopen(client.base_url + "/metrics").read().decode()
+        assert ('repro_http_requests_total{endpoint="metrics",method="GET",'
+                'status="200"}') in text
 
 
 class TestCrowdTuning:
