@@ -1,4 +1,6 @@
-"""Ablation — search-phase and modeling-phase choices.
+"""Ablation + regression gates — search-phase and modeling-phase choices.
+
+pytest-benchmark ablations:
 
 1. **EI by PSO vs EI by random candidates** (Sec. 3.1 argues for global
    evolutionary optimization of the cheap acquisition; HpBandSter's
@@ -9,15 +11,67 @@
    bad hyperparameter estimate will result in worse tuning performance
    compared to no performance model"; we verify a *mis-calibrated frozen*
    model predicts worse than an updated one.
+
+Run as a script, this file is additionally the gated harness for the
+lockstep batched search phase: it times the three search execution modes
+(sequential reference, lockstep batched, executor-parallel) on an 8-task
+campaign at the default PSO settings and writes
+``benchmarks/results/BENCH_search.json`` with wall-clock search times and
+``phase.search`` span totals.  ``--check`` runs the deterministic CI gates
+(wall-clock speedups stay informational so the job cannot be flaky):
+
+* **equivalence** — ``LCM.predict_tasks`` must match per-task ``predict``
+  within 1e-10 on random fits (shared and per-task candidate blocks);
+* **quality** — the fixed-seed batched campaign's incumbents must be within
+  5% of the sequential reference's;
+* **determinism** — rerunning batched and sequential campaigns with the
+  same seed must reproduce every evaluation exactly, and the expected
+  ``search-mode`` event must be recorded for each mode.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_search.py            # timings
+    PYTHONPATH=src python benchmarks/bench_ablation_search.py --check    # CI gates
 """
+
+import argparse
+import json
+import os
+import sys
+import time
 
 import numpy as np
 
 from harness import fmt, print_table, save_results
 from repro.apps.analytical import analytical_function
-from repro.core import LCM, EIAcquisition, LinearPerformanceModel, ParticleSwarm
+from repro.core import (
+    LCM,
+    EIAcquisition,
+    GPTune,
+    LinearPerformanceModel,
+    Options,
+    ParticleSwarm,
+    Real,
+    Space,
+    TuningProblem,
+)
+from repro.reporting import phase_breakdown
 
 DELTA, TRAIN = 4, 8
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "BENCH_search.json"
+)
+
+#: the acceptance point: 8 tasks × default PSO settings (40 particles, 30 iters)
+N_TASKS, N_SAMPLES = 8, 24
+
+#: search execution modes compared by the harness
+MODES = {
+    "sequential": dict(search_batched=False, search_backend="serial"),
+    "batched": dict(search_batched=True, search_backend="serial"),
+    "executor": dict(search_batched=False, search_backend="thread", n_workers=4),
+}
 
 
 def _fit(rng, n_start=2, seed=0):
@@ -94,3 +148,168 @@ def test_ablation_perfmodel_update(benchmark):
 
     assert err_updated < 0.05 * err_frozen
     benchmark(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Gated harness: lockstep batched search phase (script entry point)
+# ---------------------------------------------------------------------------
+
+
+def _search_problem():
+    return TuningProblem(
+        task_space=Space([Real("t", 0.0, 1.0)]),
+        tuning_space=Space([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)]),
+        objective=lambda task, cfg: 1.0
+        + (cfg["x"] - 0.2 - 0.3 * task["t"]) ** 2
+        + (cfg["y"] - 0.7 * task["t"]) ** 2,
+        name="bench-search-modes",
+    )
+
+
+def _search_tasks(n_tasks=N_TASKS):
+    return [{"t": float(t)} for t in np.linspace(0.05, 0.95, n_tasks)]
+
+
+def _search_campaign(**kw):
+    """8-task campaign at *default* PSO settings (40 particles, 30 iters)."""
+    opts = Options(seed=11, n_start=1, lbfgs_maxiter=40, telemetry=True, **kw)
+    return GPTune(_search_problem(), opts).tune(_search_tasks(), N_SAMPLES)
+
+
+def bench_search_modes(repeats):
+    """Time every search mode; keep the result + fastest timings per mode."""
+    out, results = {}, {}
+    for mode, kw in MODES.items():
+        best, res = None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = _search_campaign(**kw)
+            wall = time.perf_counter() - t0
+            span = phase_breakdown(res.events.events).get(
+                "phase.search", {"count": 0, "total_s": 0.0}
+            )
+            timing = {
+                "search_s": float(res.stats["search_time"]),
+                "campaign_s": wall,
+                "span_phase_search_total_s": float(span["total_s"]),
+                "span_phase_search_count": int(span["count"]),
+                "best_values": [float(v) for v in res.best_values()],
+            }
+            if best is None or timing["search_s"] < best["search_s"]:
+                best = timing
+        out[mode], results[mode] = best, res
+        print(f"  {mode:<10} search {best['search_s']*1e3:8.1f} ms   "
+              f"phase.search span {best['span_phase_search_total_s']*1e3:8.1f} ms "
+              f"({best['span_phase_search_count']} spans)   "
+              f"campaign {best['campaign_s']:6.2f} s")
+    seq, bat = out["sequential"]["search_s"], out["batched"]["search_s"]
+    out["speedup_batched_vs_sequential"] = seq / bat if bat > 0 else float("inf")
+    exe = out["executor"]["search_s"]
+    out["speedup_executor_vs_sequential"] = seq / exe if exe > 0 else float("inf")
+    print(f"  batched search-phase speedup at {N_TASKS} tasks x default PSO: "
+          f"{out['speedup_batched_vs_sequential']:.2f}x (informational target >= 3x)")
+    return out, results
+
+
+def check_predict_tasks_equivalence():
+    """Gate: ``predict_tasks`` ≡ per-task ``predict`` within 1e-10."""
+    rng = np.random.default_rng(7)
+    worst = 0.0
+    for delta, beta, q, n in [(2, 2, 1, 24), (4, 3, 2, 48), (8, 2, 2, 64)]:
+        X = rng.random((n, beta))
+        tidx = rng.integers(0, delta, n)
+        y = np.sin(3.0 * X[:, 0]) + 0.3 * tidx + 0.05 * rng.normal(size=n)
+        m = LCM(delta, beta, n_latent=q, seed=3, n_start=1, maxiter=30).fit(X, y, tidx)
+        tasks = list(range(delta))
+        for Xstar in (rng.random((10, beta)), rng.random((delta, 6, beta))):
+            mu, var = m.predict_tasks(tasks, Xstar)
+            for s, t in enumerate(tasks):
+                block = Xstar if Xstar.ndim == 2 else Xstar[s]
+                mu1, var1 = m.predict(t, block)
+                worst = max(worst, float(np.max(np.abs(mu[s] - mu1))),
+                            float(np.max(np.abs(var[s] - var1))))
+    passed = worst < 1e-10
+    print(f"  equivalence: |Δposterior| <= {worst:.3e} (gate 1e-10)  "
+          f"{'PASS' if passed else 'FAIL'}")
+    return {"max_diff": worst, "passed": passed}
+
+
+def check_campaign_gates(results):
+    """Gates on the timed runs: quality, search-mode events, determinism."""
+    seq, bat = results["sequential"], results["batched"]
+    quality = bool(np.all(bat.best_values() <= seq.best_values() * 1.05))
+    print(f"  quality: batched incumbents within 5% of sequential on all "
+          f"{N_TASKS} tasks  {'PASS' if quality else 'FAIL'}")
+
+    modes_ok = True
+    for mode, res in results.items():
+        seen = [e.fields.get("mode") for e in res.events.events
+                if e.kind == "search-mode"]
+        spans = [e for e in res.events.events
+                 if e.kind == "span" and e.fields.get("name") == "phase.search"]
+        ok = seen == [mode] and bool(spans) and all(
+            s.fields.get("mode") == mode for s in spans
+        )
+        modes_ok = modes_ok and ok
+        print(f"  telemetry[{mode}]: search-mode events {seen}, "
+              f"{len(spans)} phase.search span(s)  {'PASS' if ok else 'FAIL'}")
+
+    determinism = True
+    for mode in ("sequential", "batched"):
+        rerun = _search_campaign(**MODES[mode])
+        same = rerun.data.to_records() == results[mode].data.to_records()
+        determinism = determinism and same
+        print(f"  determinism[{mode}]: same-seed rerun identical  "
+              f"{'PASS' if same else 'FAIL'}")
+
+    passed = quality and modes_ok and determinism
+    return {
+        "quality_within_5pct": quality,
+        "search_mode_events": modes_ok,
+        "same_seed_identical": determinism,
+        "passed": passed,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Search-phase mode benchmark (sequential vs batched vs executor)"
+    )
+    ap.add_argument("--check", action="store_true",
+                    help="run the deterministic CI gates (plus quick timings)")
+    ap.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    args = ap.parse_args(argv)
+
+    print(f"== search-phase modes: {N_TASKS} tasks x {N_SAMPLES} samples, "
+          f"default PSO settings ==")
+    timings, results = bench_search_modes(repeats=2 if args.check else 3)
+    payload = {
+        "config": {
+            "n_tasks": N_TASKS,
+            "n_samples": N_SAMPLES,
+            "modes": {k: dict(v) for k, v in MODES.items()},
+        },
+        "modes": timings,
+    }
+
+    ok = True
+    if args.check:
+        print("== deterministic gates ==")
+        eq = check_predict_tasks_equivalence()
+        camp = check_campaign_gates(results)
+        payload["checks"] = {
+            "equivalence": eq,
+            "campaign": camp,
+            "passed": eq["passed"] and camp["passed"],
+        }
+        ok = payload["checks"]["passed"]
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

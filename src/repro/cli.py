@@ -124,6 +124,8 @@ def _cmd_tune(args) -> int:
             eval_timeout=args.eval_timeout,
             model_cache_path=args.model_cache,
             telemetry=bool(args.telemetry),
+            search_batched=not args.no_batched_search,
+            search_backend=args.search_backend,
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -342,6 +344,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--telemetry", metavar="PATH",
         help="record timestamped phase/model spans and stream every campaign "
              "event to this JSONL file (render it with 'repro report PATH')",
+    )
+    p_tune.add_argument(
+        "--no-batched-search", action="store_true",
+        help="disable the lockstep cross-task batched search phase and use "
+             "the per-task reference loop (or --search-backend)",
+    )
+    p_tune.add_argument(
+        "--search-backend", default="serial",
+        choices=("serial", "thread", "process"),
+        help="executor dispatching whole per-task searches when batching is "
+             "off or impossible (default: serial)",
     )
 
     p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")

@@ -1,6 +1,6 @@
 """GPTune core: spaces, surrogates, acquisition, and the MLA driver."""
 
-from .acquisition import EIAcquisition, expected_improvement
+from .acquisition import BatchedEIAcquisition, EIAcquisition, expected_improvement
 from .data import TuningData
 from .gp import GaussianProcess
 from .history import HistoryDB
@@ -31,7 +31,7 @@ from .perfmodel import (
 )
 from .problem import TuningProblem
 from .sampling import LHSSampler, RandomSampler, lhs_unit, sample_feasible
-from .search import NSGA2, ParticleSwarm
+from .search import NSGA2, BatchedParticleSwarm, ParticleSwarm
 from .sensitivity import sobol_indices, surrogate_sensitivity
 from .space import Constraint, Space
 from .tla import TransferLearner
@@ -41,6 +41,7 @@ __all__ = [
     "Categorical",
     "CallableModel",
     "Constraint",
+    "BatchedEIAcquisition",
     "EIAcquisition",
     "EvalOutcome",
     "EvalTimeoutError",
@@ -58,6 +59,7 @@ __all__ = [
     "NSGA2",
     "Options",
     "Parameter",
+    "BatchedParticleSwarm",
     "ParticleSwarm",
     "PerformanceModel",
     "RandomSampler",

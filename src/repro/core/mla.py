@@ -38,7 +38,7 @@ from ..observability import MetricsRegistry, SpanRecorder
 from ..observability.spans import install_recorder, maybe_span
 from ..runtime.resilience import RetryPolicy, RunCheckpoint
 from ..runtime.trace import CampaignLog
-from .acquisition import EIAcquisition
+from .acquisition import BatchedEIAcquisition, EIAcquisition
 from .data import TuningData
 from .gp import GaussianProcess
 from .history import HistoryDB
@@ -47,8 +47,9 @@ from .options import Options
 from .perfmodel import ModelFeaturizer
 from .problem import TuningProblem
 from .sampling import LHSSampler, sample_feasible
-from .search.nsga2 import NSGA2, crowding_distance
+from .search.nsga2 import NSGA2, crowding_distance, fast_non_dominated_sort
 from .search.pso import ParticleSwarm
+from .search.pso_batched import BatchedParticleSwarm
 
 __all__ = ["GPTune", "IndependentGPs", "TuneResult"]
 
@@ -136,6 +137,163 @@ class _BatchEval:
     def __call__(self, item):
         idx, cfg = item
         return self.problem.evaluate_outcome(self.tasks[idx], cfg, retry=self.retry)
+
+
+def _feasibility_or_none(problem: TuningProblem, task: Mapping[str, Any]):
+    """Feasibility predicate over normalized points, or ``None`` if trivial.
+
+    An unconstrained tuning space makes every candidate feasible, so the
+    search phase skips the per-row constraint predicate entirely instead of
+    paying a Python loop per optimizer step.
+    """
+    if problem.tuning_space.constraints:
+        return problem.feasibility_on_unit(task)
+    return None
+
+
+def _mo_lcb(predicts, feasible, Xunit: np.ndarray) -> np.ndarray:
+    """Per-objective lower-confidence-bound rows for NSGA-II.
+
+    The LCB scalarization ``mu - sqrt(var)`` per objective lets the NSGA-II
+    population span the optimistic Pareto front (the "multi-objective EI"
+    search of Algorithm 2); infeasible rows are pushed to ``inf``.
+    """
+    cols = []
+    for pr in predicts:
+        mu, var = pr(Xunit)
+        cols.append(mu - 1.0 * np.sqrt(var))
+    F = np.column_stack(cols)
+    if feasible is not None:
+        F[~np.asarray(feasible(Xunit), dtype=bool)] = np.inf
+    return F
+
+
+def _run_search_job(job):
+    """Executor-mapped trampoline: run one per-task search job."""
+    return job()
+
+
+class _SearchSingleTask:
+    """One task's whole EI/PSO search as a picklable executor job.
+
+    The executor-parallel fallback (``Options.search_backend``) dispatches
+    entire per-task searches across workers — the paper's Sec. 4.2 parallel
+    search phase — when lockstep batching is impossible.  Returns the
+    proposed unit-cube positions ``(q, dim)``.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        model,
+        task_index: int,
+        task: Mapping[str, Any],
+        y_best: float,
+        featurizer: Optional[ModelFeaturizer],
+        n_particles: int,
+        iterations: int,
+        q: int,
+        seed: int,
+        x0: np.ndarray,
+    ):
+        self.problem = problem
+        self.model = model
+        self.task_index = int(task_index)
+        self.task = dict(task)
+        self.y_best = float(y_best)
+        self.featurizer = featurizer
+        self.n_particles = int(n_particles)
+        self.iterations = int(iterations)
+        self.q = int(q)
+        self.seed = seed
+        self.x0 = np.asarray(x0, dtype=float)
+
+    def __call__(self, _item=None) -> np.ndarray:
+        space = self.problem.tuning_space
+        model, task, feat = self.model, self.task, self.featurizer
+
+        def predict(Xunit: np.ndarray):
+            Xunit = np.atleast_2d(Xunit)
+            if feat is not None:
+                cfgs = [space.denormalize(u) for u in Xunit]
+                Xin = feat.enrich(task, cfgs, Xunit, observe=False)
+            else:
+                Xin = Xunit
+            return model.predict(self.task_index, Xin)
+
+        acq = EIAcquisition(
+            predict,
+            y_best=self.y_best,
+            feasibility=_feasibility_or_none(self.problem, task),
+        )
+        pso = ParticleSwarm(
+            dim=space.dimension,
+            n_particles=self.n_particles,
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+        xunit, _ = pso.maximize(acq, x0=self.x0)
+        if self.q > 1:
+            return pso.top_batch(self.q)
+        return xunit[None, :]
+
+
+class _SearchMultiTask:
+    """One task's whole NSGA-II search as a picklable executor job.
+
+    Returns ``(Xf, Ff, popX, popF)`` — the first front plus the final
+    population so the driver's ``_pick_k`` can top up short fronts.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        models: List,
+        task_index: int,
+        task: Mapping[str, Any],
+        featurizer: Optional[ModelFeaturizer],
+        pop_size: int,
+        generations: int,
+        seed: int,
+        x0: np.ndarray,
+    ):
+        self.problem = problem
+        self.models = list(models)
+        self.task_index = int(task_index)
+        self.task = dict(task)
+        self.featurizer = featurizer
+        self.pop_size = int(pop_size)
+        self.generations = int(generations)
+        self.seed = seed
+        self.x0 = np.asarray(x0, dtype=float)
+
+    def __call__(self, _item=None):
+        space = self.problem.tuning_space
+        task, feat = self.task, self.featurizer
+
+        def make_predict(model):
+            def predict(Xunit: np.ndarray):
+                Xunit = np.atleast_2d(Xunit)
+                if feat is not None:
+                    cfgs = [space.denormalize(u) for u in Xunit]
+                    Xin = feat.enrich(task, cfgs, Xunit, observe=False)
+                else:
+                    Xin = Xunit
+                return model.predict(self.task_index, Xin)
+
+            return predict
+
+        predicts = [make_predict(m) for m in self.models]
+        feasible = _feasibility_or_none(self.problem, task)
+        nsga = NSGA2(
+            dim=space.dimension,
+            pop_size=self.pop_size,
+            generations=self.generations,
+            seed=self.seed,
+        )
+        Xf, Ff = nsga.minimize(lambda X: _mo_lcb(predicts, feasible, X), x0=self.x0)
+        popX, popF = nsga.population
+        return Xf, Ff, popX, popF
 
 
 class IndependentGPs:
@@ -231,6 +389,8 @@ class GPTune:
         self.metrics = MetricsRegistry()
         self._seeds = np.random.SeedSequence(self.options.seed)
         self._executor = None
+        self._search_executor = None
+        self._search_mode_last: Optional[str] = None
         # per-campaign modeling state (reset by tune()): warm-refit carryover
         # per objective, GP-ladder carryover per (objective, task), the
         # modeling-phase counter driving refit_interval, and the incremental
@@ -262,6 +422,53 @@ class GPTune:
                 self.options.backend, self.options.n_workers, on_event=self.events.record
             )
         return self._executor
+
+    def _get_search_executor(self):
+        """Executor for whole-search-per-task dispatch (``search_backend``)."""
+        if self.options.search_backend == "serial":
+            return None
+        if self._search_executor is None:
+            from ..runtime.executor import make_executor
+
+            self._search_executor = make_executor(
+                self.options.search_backend,
+                self.options.n_workers,
+                on_event=self.events.record,
+            )
+        return self._search_executor
+
+    def _select_search_mode(self, models: Sequence[Any], featurizer) -> str:
+        """Pick the search-phase execution path for this iteration.
+
+        ``"batched"`` — lockstep cross-task batching — needs a healthy LCM
+        for every objective (the cross-task posterior is an LCM property)
+        and no per-task performance-model enrichment (enriched inputs differ
+        per task, so candidate blocks cannot share kernels).  Otherwise the
+        per-task searches are dispatched over ``search_backend``
+        (``"executor"``) or run in the sequential reference loop.
+        """
+        if (
+            self.options.search_batched
+            and featurizer is None
+            and len(models) > 0
+            and all(isinstance(m, LCM) for m in models)
+        ):
+            return "batched"
+        if self.options.search_backend != "serial":
+            return "executor"
+        return "sequential"
+
+    def _note_search_mode(self, mode: str, algo: str, n_tasks: int) -> None:
+        """Record a ``search-mode`` event when the execution path changes."""
+        if mode != self._search_mode_last:
+            self._search_mode_last = mode
+            self.events.record(
+                "search-mode",
+                f"{algo}: {mode} search over {n_tasks} task(s)",
+                mode=mode,
+                algo=algo,
+                n_tasks=n_tasks,
+            )
 
     def _evaluate(self, data: TuningData, task: int, cfg: Mapping[str, Any], stats) -> None:
         with maybe_span("phase.evaluation", task=task):
@@ -433,6 +640,7 @@ class GPTune:
         self._warm_gp_theta = {}
         self._fit_iter = 0
         self._fp_state = None
+        self._search_mode_last = None
         stats = {
             "objective_time": 0.0,
             "objective_wall_time": 0.0,
@@ -842,35 +1050,131 @@ class GPTune:
             )
             return models
 
+        active_list = list(active) if active is not None else list(range(data.n_tasks))
+        mode = self._select_search_mode([lcm], featurizer)
         t0 = time.perf_counter()
-        proposals: List[Tuple[int, Dict[str, Any]]] = []
-        with maybe_span("phase.search", algo="pso-ei"):
-            for i in active if active is not None else range(data.n_tasks):
-                acq = EIAcquisition(
-                    self._predict_unit(lcm, i, data.tasks[i], featurizer),
-                    y_best=float(ybests[0][i]),
-                    feasibility=self.problem.feasibility_on_unit(data.tasks[i]),
+        with maybe_span("phase.search", algo="pso-ei", mode=mode):
+            self._note_search_mode(mode, "pso-ei", len(active_list))
+            if mode == "batched":
+                proposals = self._search_single_batched(data, lcm, ybests[0], active_list)
+            elif mode == "executor":
+                proposals = self._search_single_executor(
+                    data, lcm, featurizer, ybests[0], active_list
                 )
-                pso = ParticleSwarm(
-                    dim=data.tuning_space.dimension,
-                    n_particles=self.options.ei_candidates,
-                    iterations=self.options.pso_iters,
-                    seed=self._child_seed(),
+            else:
+                proposals = self._search_single_sequential(
+                    data, lcm, featurizer, ybests[0], active_list
                 )
-                seeds = data.tuning_space.normalize(data.best(i)[0])[None, :]
-                xunit, _ = pso.maximize(acq, x0=seeds)
-                q = self.options.batch_evals
-                if q > 1:
-                    for u in pso.top_batch(q):
-                        cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
-                        proposals.append((i, cfg))
-                else:
-                    cfg = self._dedup(data, i, data.tuning_space.denormalize(xunit))
-                    proposals.append((i, cfg))
         stats["search_time"] += time.perf_counter() - t0
 
         self._evaluate_batch(data, proposals, stats)
         return models
+
+    def _search_single_sequential(
+        self,
+        data: TuningData,
+        lcm,
+        featurizer: Optional[ModelFeaturizer],
+        ybest: np.ndarray,
+        active: Sequence[int],
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Reference search loop: one PSO/EI maximization per task."""
+        space = data.tuning_space
+        rng = np.random.default_rng(self._child_seed())
+        q = self.options.batch_evals
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i in active:
+            acq = EIAcquisition(
+                self._predict_unit(lcm, i, data.tasks[i], featurizer),
+                y_best=float(ybest[i]),
+                feasibility=_feasibility_or_none(self.problem, data.tasks[i]),
+            )
+            pso = ParticleSwarm(
+                dim=space.dimension,
+                n_particles=self.options.ei_candidates,
+                iterations=self.options.pso_iters,
+                seed=self._child_seed(),
+            )
+            seeds = space.normalize(data.best(i)[0])[None, :]
+            xunit, _ = pso.maximize(acq, x0=seeds)
+            units = pso.top_batch(q) if q > 1 else xunit[None, :]
+            for u in units:
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
+        return proposals
+
+    def _search_single_batched(
+        self, data: TuningData, lcm: LCM, ybest: np.ndarray, active: Sequence[int]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Lockstep search: every task's swarm advances on one batched EI.
+
+        All active tasks' particles live in a single
+        ``(n_tasks, particles, dim)`` tensor; each PSO step costs one
+        cross-task posterior call (:meth:`LCM.predict_tasks`) instead of
+        ``n_tasks`` per-task predicts.
+        """
+        space = data.tuning_space
+        feas = [_feasibility_or_none(self.problem, data.tasks[i]) for i in active]
+        acq = BatchedEIAcquisition(
+            lambda X: lcm.predict_tasks(active, X),
+            y_best=np.asarray([ybest[i] for i in active], dtype=float),
+            feasibility=feas if any(f is not None for f in feas) else None,
+        )
+        pso = BatchedParticleSwarm(
+            dim=space.dimension,
+            n_tasks=len(active),
+            n_particles=self.options.ei_candidates,
+            iterations=self.options.pso_iters,
+            seed=self._child_seed(),
+        )
+        seeds = np.stack([space.normalize(data.best(i)[0]) for i in active])
+        xunit, _ = pso.maximize(acq, x0=seeds)
+        rng = np.random.default_rng(self._child_seed())
+        q = self.options.batch_evals
+        tops = pso.top_batch(q) if q > 1 else None
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for t, i in enumerate(active):
+            units = tops[t] if tops is not None else xunit[t][None, :]
+            for u in units:
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
+        return proposals
+
+    def _search_single_executor(
+        self,
+        data: TuningData,
+        lcm,
+        featurizer: Optional[ModelFeaturizer],
+        ybest: np.ndarray,
+        active: Sequence[int],
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Dispatch whole per-task searches across the search executor."""
+        space = data.tuning_space
+        jobs = [
+            _SearchSingleTask(
+                self.problem,
+                lcm,
+                i,
+                data.tasks[i],
+                float(ybest[i]),
+                featurizer,
+                n_particles=self.options.ei_candidates,
+                iterations=self.options.pso_iters,
+                q=self.options.batch_evals,
+                seed=self._child_seed(),
+                x0=space.normalize(data.best(i)[0])[None, :],
+            )
+            for i in active
+        ]
+        executor = self._get_search_executor()
+        if executor is None:
+            units_per_task = [job() for job in jobs]
+        else:
+            units_per_task = executor.map(_run_search_job, jobs)
+        rng = np.random.default_rng(self._child_seed())
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i, units in zip(active, units_per_task):
+            for u in np.atleast_2d(units):
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
+        return proposals
 
     def _random_proposals(
         self, data: TuningData, active: Optional[Sequence[int]], per_task: int, stats
@@ -878,13 +1182,15 @@ class GPTune:
         """Random-search proposals — the last rung of the degradation ladder."""
         t0 = time.perf_counter()
         rng = np.random.default_rng(self._child_seed())
+        active_list = list(active) if active is not None else list(range(data.n_tasks))
         proposals: List[Tuple[int, Dict[str, Any]]] = []
-        with maybe_span("phase.search", algo="random"):
-            for i in active if active is not None else range(data.n_tasks):
+        with maybe_span("phase.search", algo="random", mode="random"):
+            self._note_search_mode("random", "random", len(active_list))
+            for i in active_list:
                 for cand in sample_feasible(
                     data.tuning_space, per_task, rng, extra=data.tasks[i]
                 ):
-                    proposals.append((i, self._dedup(data, i, cand)))
+                    proposals.append((i, self._dedup(data, i, cand, rng)))
         stats["search_time"] += time.perf_counter() - t0
         return proposals
 
@@ -908,13 +1214,19 @@ class GPTune:
         for (i, cfg), outcome in zip(proposals, outcomes):
             self._record(data, i, cfg, outcome, stats)
 
-    def _dedup(self, data: TuningData, task: int, cfg: Dict[str, Any]) -> Dict[str, Any]:
-        """Replace an already-evaluated proposal with a fresh feasible point."""
+    def _dedup(
+        self, data: TuningData, task: int, cfg: Dict[str, Any], rng: np.random.Generator
+    ) -> Dict[str, Any]:
+        """Replace an already-evaluated proposal with a fresh feasible point.
+
+        ``rng`` is hoisted by the caller — one generator per search phase
+        threaded through every proposal, rather than spawning a fresh
+        ``default_rng`` (and a seed-tree child) per duplicate hit.
+        """
         seen = self._seen_keys(data, task)
         key = tuple(np.round(data.tuning_space.normalize(cfg), 9))
         if key not in seen:
             return cfg
-        rng = np.random.default_rng(self._child_seed())
         for cand in sample_feasible(
             data.tuning_space, 64, rng, extra=data.tasks[task], max_tries=50_000
         ):
@@ -936,73 +1248,205 @@ class GPTune:
                 self._evaluate(data, i, cfg, stats)
             return models
 
+        active_list = list(active) if active is not None else list(range(data.n_tasks))
+        mode = self._select_search_mode(models, featurizer)
         t0 = time.perf_counter()
-        proposals: List[Tuple[int, Dict[str, Any]]] = []
-        with maybe_span("phase.search", algo="nsga2"):
-            proposals.extend(
-                self._search_multi(data, models, featurizer, active, gamma, k)
-            )
+        with maybe_span("phase.search", algo="nsga2", mode=mode):
+            self._note_search_mode(mode, "nsga2", len(active_list))
+            if mode == "batched":
+                proposals = self._search_multi_batched(data, models, active_list, gamma, k)
+            elif mode == "executor":
+                proposals = self._search_multi_executor(
+                    data, models, featurizer, active_list, gamma, k
+                )
+            else:
+                proposals = self._search_multi(data, models, featurizer, active_list, gamma, k)
         stats["search_time"] += time.perf_counter() - t0
 
         for i, cfg in proposals:
             self._evaluate(data, i, cfg, stats)
         return models
 
+    def _pareto_seeds(self, data: TuningData, task: int) -> np.ndarray:
+        """Normalized NSGA-II seed individuals: current front or incumbent."""
+        return data.tuning_space.normalize_many(
+            data.pareto_front(task)[0] or [data.best(task)[0]]
+        )
+
     def _search_multi(
         self,
         data: TuningData,
         models: List[LCM],
         featurizer: Optional[ModelFeaturizer],
-        active: Optional[Sequence[int]],
+        active: Sequence[int],
         gamma: int,
         k: int,
     ) -> List[Tuple[int, Dict[str, Any]]]:
-        """NSGA-II Pareto search over every active task (Algorithm 2 body)."""
+        """NSGA-II Pareto search, one task at a time (Algorithm 2 body)."""
+        space = data.tuning_space
+        rng = np.random.default_rng(self._child_seed())
         proposals: List[Tuple[int, Dict[str, Any]]] = []
-        for i in active if active is not None else range(data.n_tasks):
+        for i in active:
             predicts = [
                 self._predict_unit(models[s], i, data.tasks[i], featurizer) for s in range(gamma)
             ]
-            feasible = self.problem.feasibility_on_unit(data.tasks[i])
-
-            def mo_objective(Xunit: np.ndarray) -> np.ndarray:
-                # lower-confidence-bound scalarization per objective: the
-                # NSGA-II population then spans the optimistic Pareto front
-                # (the "multi-objective EI" search of Algorithm 2).
-                cols = []
-                for pr in predicts:
-                    mu, var = pr(Xunit)
-                    cols.append(mu - 1.0 * np.sqrt(var))
-                F = np.column_stack(cols)
-                bad = ~feasible(Xunit)
-                F[bad] = np.inf
-                return F
-
+            feasible = _feasibility_or_none(self.problem, data.tasks[i])
             nsga = NSGA2(
-                dim=data.tuning_space.dimension,
+                dim=space.dimension,
                 pop_size=self.options.nsga_pop,
                 generations=self.options.nsga_gens,
                 seed=self._child_seed(),
             )
-            seedX = data.tuning_space.normalize_many(
-                data.pareto_front(i)[0] or [data.best(i)[0]]
+            Xf, Ff = nsga.minimize(
+                lambda X, pr=predicts, fe=feasible: _mo_lcb(pr, fe, X),
+                x0=self._pareto_seeds(data, i),
             )
-            Xf, Ff = nsga.minimize(mo_objective, x0=seedX)
-            picks = self._pick_k(Xf, Ff, k)
-            for u in picks:
-                cfg = self._dedup(data, i, data.tuning_space.denormalize(u))
-                proposals.append((i, cfg))
+            for u in self._pick_k(Xf, Ff, k, pool=nsga.population):
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
+        return proposals
+
+    def _search_multi_batched(
+        self,
+        data: TuningData,
+        models: List[LCM],
+        active: Sequence[int],
+        gamma: int,
+        k: int,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Lockstep NSGA-II: all tasks' populations stacked per generation.
+
+        Each generation evaluates one ``(n_tasks, pop, dim)`` tensor with
+        ``gamma`` cross-task posterior calls (one per objective) instead of
+        ``n_tasks × gamma`` per-task predicts, using the stepping
+        (:meth:`NSGA2.initialize` / :meth:`ask` / :meth:`tell`) API.
+        """
+        space = data.tuning_space
+        feas = [_feasibility_or_none(self.problem, data.tasks[i]) for i in active]
+        nsgas = [
+            NSGA2(
+                dim=space.dimension,
+                pop_size=self.options.nsga_pop,
+                generations=self.options.nsga_gens,
+                seed=self._child_seed(),
+            )
+            for _ in active
+        ]
+
+        def eval_stacked(X: np.ndarray) -> np.ndarray:
+            cols = []
+            for s in range(gamma):
+                mu, var = models[s].predict_tasks(active, X)
+                cols.append(mu - 1.0 * np.sqrt(var))
+            F = np.stack(cols, axis=-1)  # (n_tasks, pop, gamma)
+            for t, fe in enumerate(feas):
+                if fe is not None:
+                    F[t][~np.asarray(fe(X[t]), dtype=bool)] = np.inf
+            return F
+
+        pops = np.stack(
+            [nsga.initialize(x0=self._pareto_seeds(data, i)) for nsga, i in zip(nsgas, active)]
+        )
+        F = eval_stacked(pops)
+        for t, nsga in enumerate(nsgas):
+            nsga.tell(F[t])
+        for _ in range(nsgas[0].generations):
+            children = np.stack([nsga.ask() for nsga in nsgas])
+            Fc = eval_stacked(children)
+            for t, nsga in enumerate(nsgas):
+                nsga.tell(Fc[t])
+
+        rng = np.random.default_rng(self._child_seed())
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for t, i in enumerate(active):
+            Xf, Ff = nsgas[t].front()
+            for u in self._pick_k(Xf, Ff, k, pool=nsgas[t].population):
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
+        return proposals
+
+    def _search_multi_executor(
+        self,
+        data: TuningData,
+        models: List[LCM],
+        featurizer: Optional[ModelFeaturizer],
+        active: Sequence[int],
+        gamma: int,
+        k: int,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Dispatch whole per-task NSGA-II searches across the executor."""
+        space = data.tuning_space
+        jobs = [
+            _SearchMultiTask(
+                self.problem,
+                models,
+                i,
+                data.tasks[i],
+                featurizer,
+                pop_size=self.options.nsga_pop,
+                generations=self.options.nsga_gens,
+                seed=self._child_seed(),
+                x0=self._pareto_seeds(data, i),
+            )
+            for i in active
+        ]
+        executor = self._get_search_executor()
+        if executor is None:
+            results = [job() for job in jobs]
+        else:
+            results = executor.map(_run_search_job, jobs)
+        rng = np.random.default_rng(self._child_seed())
+        proposals: List[Tuple[int, Dict[str, Any]]] = []
+        for i, (Xf, Ff, popX, popF) in zip(active, results):
+            for u in self._pick_k(Xf, Ff, k, pool=(popX, popF)):
+                proposals.append((i, self._dedup(data, i, space.denormalize(u), rng)))
         return proposals
 
     @staticmethod
-    def _pick_k(Xf: np.ndarray, Ff: np.ndarray, k: int) -> np.ndarray:
-        """Choose k spread-out points from a front by crowding distance."""
-        if Xf.shape[0] <= k:
-            return Xf
+    def _pick_k(
+        Xf: np.ndarray,
+        Ff: np.ndarray,
+        k: int,
+        pool: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Choose k spread-out finite points from a front by crowding distance.
+
+        Non-finite objective rows (infeasible candidates scored ``inf``)
+        are filtered *before* the size check, so a front padded with
+        infeasible rows can no longer slip through the early exit and yield
+        unusable (or fewer than ``k``) picks.  When the finite front is
+        short and the optimizer's final population is supplied as
+        ``pool=(X, F)``, the remainder is topped up from the next
+        non-dominated ranks in (rank, crowding distance) order.
+        """
+        Xf = np.atleast_2d(np.asarray(Xf, dtype=float))
+        Ff = np.atleast_2d(np.asarray(Ff, dtype=float))
         finite = np.all(np.isfinite(Ff), axis=1)
-        Xf, Ff = Xf[finite], Ff[finite]
-        if Xf.shape[0] <= k:
-            return Xf
-        cd = crowding_distance(Ff)
-        order = np.argsort(-cd, kind="stable")
-        return Xf[order[:k]]
+        Xg, Fg = Xf[finite], Ff[finite]
+        if Xg.shape[0] > k:
+            cd = crowding_distance(Fg)
+            order = np.argsort(-cd, kind="stable")
+            return Xg[order[:k]]
+        picked = [x for x in Xg]
+        seen = {tuple(np.round(x, 12)) for x in picked}
+        if len(picked) < k and pool is not None:
+            poolX = np.atleast_2d(np.asarray(pool[0], dtype=float))
+            poolF = np.atleast_2d(np.asarray(pool[1], dtype=float))
+            ok = np.all(np.isfinite(poolF), axis=1)
+            poolX, poolF = poolX[ok], poolF[ok]
+            if poolX.shape[0]:
+                for idx in fast_non_dominated_sort(poolF):
+                    cd = crowding_distance(poolF[idx])
+                    for j in idx[np.argsort(-cd, kind="stable")]:
+                        key = tuple(np.round(poolX[j], 12))
+                        if key in seen:
+                            continue
+                        picked.append(poolX[j])
+                        seen.add(key)
+                        if len(picked) >= k:
+                            break
+                    if len(picked) >= k:
+                        break
+        if not picked:
+            # nothing feasible anywhere: return the raw front so the
+            # campaign keeps proposing (and learning) instead of stalling
+            return Xf[:k]
+        return np.vstack(picked)[:k]

@@ -1,7 +1,15 @@
-"""Search-phase optimizers: PSO for single-objective EI (Sec. 3.1) and
-NSGA-II for multi-objective candidate selection (Sec. 3.2)."""
+"""Search-phase optimizers: PSO for single-objective EI (Sec. 3.1), its
+cross-task lockstep variant, and NSGA-II for multi-objective candidate
+selection (Sec. 3.2)."""
 
 from .pso import ParticleSwarm
+from .pso_batched import BatchedParticleSwarm
 from .nsga2 import NSGA2, fast_non_dominated_sort, crowding_distance
 
-__all__ = ["ParticleSwarm", "NSGA2", "fast_non_dominated_sort", "crowding_distance"]
+__all__ = [
+    "ParticleSwarm",
+    "BatchedParticleSwarm",
+    "NSGA2",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+]

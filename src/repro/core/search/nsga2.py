@@ -103,6 +103,9 @@ class NSGA2:
         self.p_c = float(p_crossover)
         self.p_m = 1.0 / dim if p_mutation is None else float(p_mutation)
         self.rng = np.random.default_rng(seed)
+        self._pop: Optional[np.ndarray] = None
+        self._F: Optional[np.ndarray] = None
+        self._children: Optional[np.ndarray] = None
 
     # -- variation operators -----------------------------------------------
     def _sbx(self, p1: np.ndarray, p2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -146,6 +149,105 @@ class NSGA2:
             return int(j)
         return int(i) if crowd[i] >= crowd[j] else int(j)
 
+    # -- ask/tell stepping API --------------------------------------------
+    #
+    # The lockstep multi-objective search phase advances several tasks'
+    # NSGA-II instances generation by generation, stacking every task's
+    # population into one batched surrogate evaluation.  The monolithic
+    # :meth:`minimize` is a thin driver over these steps (same RNG call
+    # order, so seeded runs are unchanged).
+
+    def initialize(self, x0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Create the initial population; returns it for evaluation.
+
+        Feed the objective rows back via :meth:`tell` before the first
+        :meth:`ask`.
+        """
+        pop = self.rng.random((self.pop_size, self.dim))
+        if x0 is not None:
+            x0 = np.atleast_2d(np.asarray(x0, dtype=float))
+            k = min(x0.shape[0], self.pop_size)
+            pop[:k] = np.clip(x0[:k], 0.0, 1.0)
+        self._pop = pop
+        self._F = None
+        self._children = None
+        return pop
+
+    def ask(self) -> np.ndarray:
+        """Breed one generation of children from the current population."""
+        if self._pop is None or self._F is None:
+            raise RuntimeError("ask() before initialize()/tell()")
+        pop, F = self._pop, self._F
+        fronts = fast_non_dominated_sort(F)
+        rank = np.empty(pop.shape[0], dtype=int)
+        crowd = np.empty(pop.shape[0])
+        for r, idx in enumerate(fronts):
+            rank[idx] = r
+            crowd[idx] = crowding_distance(F[idx])
+
+        children = []
+        while len(children) < self.pop_size:
+            a = pop[self._tournament(rank, crowd)]
+            b = pop[self._tournament(rank, crowd)]
+            c1, c2 = self._sbx(a, b)
+            children.append(self._mutate(c1))
+            children.append(self._mutate(c2))
+        self._children = np.vstack(children[: self.pop_size])
+        return self._children
+
+    def tell(self, F: np.ndarray) -> None:
+        """Absorb objective rows for the last :meth:`initialize`/:meth:`ask`.
+
+        The first call after :meth:`initialize` records the initial
+        population's fitness; subsequent calls run the elitist environmental
+        selection on parents ∪ children.
+        """
+        F = np.atleast_2d(np.asarray(F, dtype=float))
+        if self._pop is None:
+            raise RuntimeError("tell() before initialize()")
+        if self._F is None:
+            if F.shape[0] != self._pop.shape[0]:
+                raise ValueError("fitness row count != population size")
+            self._F = F
+            return
+        if self._children is None:
+            raise RuntimeError("tell() without a pending ask()")
+        if F.shape[0] != self._children.shape[0]:
+            raise ValueError("fitness row count != children count")
+        # elitist environmental selection on parents ∪ children
+        allX = np.vstack([self._pop, self._children])
+        allF = np.vstack([self._F, F])
+        fronts = fast_non_dominated_sort(allF)
+        keep: List[int] = []
+        for idx in fronts:
+            if len(keep) + idx.size <= self.pop_size:
+                keep.extend(idx.tolist())
+            else:
+                cd = crowding_distance(allF[idx])
+                order = np.argsort(-cd, kind="stable")
+                keep.extend(idx[order][: self.pop_size - len(keep)].tolist())
+                break
+        self._pop, self._F = allX[keep], allF[keep]
+        self._children = None
+
+    def front(self) -> Tuple[np.ndarray, np.ndarray]:
+        """First (non-dominated) front ``(X, F)`` of the current population."""
+        if self._pop is None or self._F is None:
+            raise RuntimeError("front() before initialize()/tell()")
+        first = fast_non_dominated_sort(self._F)[0]
+        return self._pop[first], self._F[first]
+
+    @property
+    def population(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current population ``(X, F)`` — all ranks, not just the front.
+
+        The driver's ``_pick_k`` tops up from the later non-dominated ranks
+        here when the first front has fewer than ``k`` finite points.
+        """
+        if self._pop is None or self._F is None:
+            raise RuntimeError("population before initialize()/tell()")
+        return self._pop, self._F
+
     # -- main loop --------------------------------------------------------
     def minimize(
         self,
@@ -167,45 +269,8 @@ class NSGA2:
         ``(X, F)`` — decision vectors and objective rows of the final
         population's first (non-dominated) front.
         """
-        pop = self.rng.random((self.pop_size, self.dim))
-        if x0 is not None:
-            x0 = np.atleast_2d(np.asarray(x0, dtype=float))
-            k = min(x0.shape[0], self.pop_size)
-            pop[:k] = np.clip(x0[:k], 0.0, 1.0)
-        F = np.atleast_2d(np.asarray(objectives(pop), dtype=float))
-
+        pop = self.initialize(x0)
+        self.tell(objectives(pop))
         for _ in range(self.generations):
-            fronts = fast_non_dominated_sort(F)
-            rank = np.empty(pop.shape[0], dtype=int)
-            crowd = np.empty(pop.shape[0])
-            for r, idx in enumerate(fronts):
-                rank[idx] = r
-                crowd[idx] = crowding_distance(F[idx])
-
-            children = []
-            while len(children) < self.pop_size:
-                a = pop[self._tournament(rank, crowd)]
-                b = pop[self._tournament(rank, crowd)]
-                c1, c2 = self._sbx(a, b)
-                children.append(self._mutate(c1))
-                children.append(self._mutate(c2))
-            child = np.vstack(children[: self.pop_size])
-            Fc = np.atleast_2d(np.asarray(objectives(child), dtype=float))
-
-            # elitist environmental selection on parents ∪ children
-            allX = np.vstack([pop, child])
-            allF = np.vstack([F, Fc])
-            fronts = fast_non_dominated_sort(allF)
-            keep: List[int] = []
-            for idx in fronts:
-                if len(keep) + idx.size <= self.pop_size:
-                    keep.extend(idx.tolist())
-                else:
-                    cd = crowding_distance(allF[idx])
-                    order = np.argsort(-cd, kind="stable")
-                    keep.extend(idx[order][: self.pop_size - len(keep)].tolist())
-                    break
-            pop, F = allX[keep], allF[keep]
-
-        first = fast_non_dominated_sort(F)[0]
-        return pop[first], F[first]
+            self.tell(objectives(self.ask()))
+        return self.front()

@@ -175,6 +175,7 @@ _SUMMARY_KINDS = (
     "model-downgrade",
     "model-cache-hit",
     "model-cache-store",
+    "search-mode",
     "checkpoint",
     "resume",
 )
@@ -306,6 +307,14 @@ def render_campaign_report(log, tolerance: float = 0.05) -> Tuple[str, bool]:
     n_starts = log.total("model-fit", "n_starts")
     if counts.get("model-fit"):
         lines.append(f"{'L-BFGS multi-starts':>18}  {n_starts}")
+    modes = [
+        str(ev.fields.get("mode") or ev.detail)
+        for ev in events
+        if ev.kind == "search-mode"
+    ]
+    if modes:
+        seen_modes = list(dict.fromkeys(modes))  # first-use order, deduped
+        lines.append(f"{'search modes':>18}  {', '.join(seen_modes)}")
     if len(lines) == 1:
         lines.append("(none)")
     sections.append("\n".join(lines))

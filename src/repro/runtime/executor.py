@@ -1,9 +1,11 @@
 """Executor backends for the tuner's own parallelism.
 
-GPTune parallelizes its modeling phase (multi-start L-BFGS restarts) and
-search phase (per-task EI optimization) over workers (Sec. 4.3).  On real
-installations that is MPI spawning; here the same call sites take any object
-with ``map(fn, iterable) -> list``:
+GPTune parallelizes its modeling phase (multi-start L-BFGS restarts),
+concurrent objective evaluations, and — when lockstep batching is off or
+impossible (``Options.search_backend``) — whole per-task EI/NSGA-II searches
+over workers (Secs. 4.2–4.3).  On real installations that is MPI spawning;
+here the same call sites take any object with
+``map(fn, iterable) -> list``:
 
 * :class:`SerialBackend` — plain loop (deterministic baseline),
 * :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor`` (NumPy

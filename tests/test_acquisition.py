@@ -55,3 +55,37 @@ class TestEIAcquisition:
         vals = acq(np.array([[0.1], [0.9]]))
         assert np.isfinite(vals[0])
         assert vals[1] == -np.inf
+
+
+class TestExpectedImprovementShapes:
+    """Dtype/shape contract after the astype-copy removal."""
+
+    def test_float64_output_from_integer_inputs(self):
+        ei = expected_improvement(np.array([0, 1]), np.array([1, 1]), 2)
+        assert ei.dtype == np.float64
+        assert ei.shape == (2,)
+
+    def test_2d_task_axis_with_broadcast_y_best(self):
+        mu = np.array([[0.0, 1.0], [2.0, 3.0]])
+        var = np.full((2, 2), 0.5)
+        y_best = np.array([[1.0], [4.0]])
+        ei = expected_improvement(mu, var, y_best)
+        assert ei.shape == (2, 2)
+        # each row must equal the scalar-incumbent result for that row
+        for t in range(2):
+            row = expected_improvement(mu[t], var[t], float(y_best[t, 0]))
+            assert np.allclose(ei[t], row)
+
+    def test_all_zero_variance_fast_return(self):
+        mu = np.array([[0.5, 2.0], [1.0, 0.0]])
+        var = np.zeros((2, 2))
+        ei = expected_improvement(mu, var, 1.0)
+        assert ei.dtype == np.float64
+        assert np.allclose(ei, np.maximum(1.0 - mu, 0.0))
+
+    def test_mixed_zero_variance_matches_elementwise(self):
+        mu = np.array([0.5, 0.5])
+        var = np.array([0.0, 0.3])
+        ei = expected_improvement(mu, var, 1.0)
+        assert ei[0] == pytest.approx(0.5)
+        assert ei[1] > ei[0]  # uncertainty adds exploration value

@@ -147,3 +147,86 @@ class TestNSGA2:
         a = NSGA2(dim=1, pop_size=10, generations=5, seed=9).minimize(objectives)
         b = NSGA2(dim=1, pop_size=10, generations=5, seed=9).minimize(objectives)
         assert np.allclose(a[1], b[1])
+
+
+class TestNSGA2AskTell:
+    """The stepping API must reproduce minimize() exactly (same RNG order)."""
+
+    @staticmethod
+    def _objectives(X):
+        return np.column_stack([X[:, 0], 1.0 - X[:, 0] + 0.2 * X[:, 1]])
+
+    def test_stepping_matches_minimize(self):
+        ref = NSGA2(dim=2, pop_size=12, generations=5, seed=7)
+        Xr, Fr = ref.minimize(self._objectives)
+
+        step = NSGA2(dim=2, pop_size=12, generations=5, seed=7)
+        step.tell(self._objectives(step.initialize()))
+        for _ in range(step.generations):
+            step.tell(self._objectives(step.ask()))
+        Xs, Fs = step.front()
+        assert np.array_equal(Xr, Xs)
+        assert np.array_equal(Fr, Fs)
+
+    def test_population_exposes_all_ranks(self):
+        nsga = NSGA2(dim=2, pop_size=10, generations=3, seed=0)
+        nsga.minimize(self._objectives)
+        popX, popF = nsga.population
+        assert popX.shape == (nsga.pop_size, 2)
+        assert popF.shape == (nsga.pop_size, 2)
+
+    def test_ask_before_tell_raises(self):
+        nsga = NSGA2(dim=2, pop_size=8, generations=2, seed=0)
+        with pytest.raises(RuntimeError):
+            nsga.ask()
+        nsga.initialize()
+        with pytest.raises(RuntimeError):
+            nsga.ask()  # initial fitness not told yet
+
+
+class TestPickK:
+    """MLA._pick_k: non-finite rows filter *before* the size check."""
+
+    @staticmethod
+    def _pick_k(Xf, Ff, k, pool=None):
+        from repro.core.mla import GPTune
+
+        return GPTune._pick_k(Xf, Ff, k, pool=pool)
+
+    def test_infinite_rows_do_not_slip_through_early_exit(self):
+        """A short front padded with inf rows used to be returned verbatim."""
+        Xf = np.array([[0.1, 0.1], [0.9, 0.9], [0.5, 0.5]])
+        Ff = np.array([[1.0, 2.0], [np.inf, np.inf], [2.0, 1.0]])
+        picks = self._pick_k(Xf, Ff, k=3)
+        assert picks.shape[0] == 2
+        assert not any(np.allclose(p, [0.9, 0.9]) for p in picks)
+
+    def test_tops_up_from_pool_ranks(self):
+        """Fewer finite front rows than k: next ranks of the pool fill in."""
+        Xf = np.array([[0.1, 0.1], [0.2, 0.2]])
+        Ff = np.array([[1.0, 2.0], [np.inf, 3.0]])
+        poolX = np.array([[0.1, 0.1], [0.4, 0.4], [0.6, 0.6], [0.8, 0.8]])
+        poolF = np.array([[1.0, 2.0], [2.0, 3.0], [3.0, 4.0], [np.inf, 0.5]])
+        picks = self._pick_k(Xf, Ff, k=3, pool=(poolX, poolF))
+        assert picks.shape[0] == 3
+        keys = {tuple(np.round(p, 6)) for p in picks}
+        assert (0.1, 0.1) in keys  # the finite front row survives
+        assert (0.8, 0.8) not in keys  # non-finite pool rows stay excluded
+        assert len(keys) == 3  # no duplicates
+
+    def test_crowding_pick_unchanged_on_large_finite_front(self):
+        rng = np.random.default_rng(3)
+        Xf = rng.random((12, 2))
+        Ff = np.column_stack([np.linspace(0, 1, 12), np.linspace(1, 0, 12)])
+        picks = self._pick_k(Xf, Ff, k=4)
+        assert picks.shape == (4, 2)
+        # boundary (extreme) points have infinite crowding distance: kept
+        assert any(np.allclose(p, Xf[0]) for p in picks)
+        assert any(np.allclose(p, Xf[-1]) for p in picks)
+
+    def test_all_infeasible_returns_raw_front(self):
+        """Everything inf: keep proposing rather than stalling the campaign."""
+        Xf = np.array([[0.3, 0.3], [0.6, 0.6]])
+        Ff = np.full((2, 2), np.inf)
+        picks = self._pick_k(Xf, Ff, k=2)
+        assert picks.shape[0] == 2

@@ -1,0 +1,277 @@
+"""Lockstep batched search phase: cross-task posterior, batched EI/PSO,
+driver mode selection, and batched-vs-sequential campaign parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedEIAcquisition,
+    BatchedParticleSwarm,
+    EIAcquisition,
+    GPTune,
+    Options,
+    Real,
+    Space,
+    TuningProblem,
+)
+from repro.core.lcm import LCM
+from repro.core.mla import IndependentGPs
+
+
+def _fitted_lcm(rng, n=50, delta=3, beta=2, q=2):
+    X = rng.random((n, beta))
+    tidx = rng.integers(0, delta, n)
+    y = np.sin(3.0 * X[:, 0]) + 0.3 * tidx + 0.05 * rng.normal(size=n)
+    return LCM(delta, beta, n_latent=q, seed=0, n_start=1, maxiter=30).fit(X, y, tidx)
+
+
+class TestPredictTasks:
+    """predict_tasks ≡ per-task predict to 1e-10 on random fits."""
+
+    @pytest.mark.parametrize("delta,beta,q,n", [(2, 2, 1, 24), (3, 2, 2, 40), (4, 3, 3, 60)])
+    def test_shared_block_equivalence(self, rng, delta, beta, q, n):
+        m = _fitted_lcm(rng, n=n, delta=delta, beta=beta, q=q)
+        Xs = rng.random((17, beta))
+        tasks = list(range(delta))
+        mu_b, var_b = m.predict_tasks(tasks, Xs)
+        assert mu_b.shape == var_b.shape == (delta, 17)
+        for t in tasks:
+            mu, var = m.predict(t, Xs)
+            assert np.allclose(mu_b[t], mu, atol=1e-10)
+            assert np.allclose(var_b[t], var, atol=1e-10)
+
+    def test_per_task_blocks_equivalence(self, rng):
+        m = _fitted_lcm(rng, delta=3)
+        blocks = rng.random((3, 11, 2))
+        mu_b, var_b = m.predict_tasks([0, 1, 2], blocks)
+        assert mu_b.shape == var_b.shape == (3, 11)
+        for t in range(3):
+            mu, var = m.predict(t, blocks[t])
+            assert np.allclose(mu_b[t], mu, atol=1e-10)
+            assert np.allclose(var_b[t], var, atol=1e-10)
+
+    def test_task_subset_and_order(self, rng):
+        """Any subset of tasks, in any order (frozen tasks are skipped)."""
+        m = _fitted_lcm(rng, delta=4, q=2)
+        Xs = rng.random((9, 2))
+        mu_b, var_b = m.predict_tasks([3, 1], Xs)
+        for row, t in enumerate([3, 1]):
+            mu, var = m.predict(t, Xs)
+            assert np.allclose(mu_b[row], mu, atol=1e-10)
+            assert np.allclose(var_b[row], var, atol=1e-10)
+
+    def test_variance_nonnegative(self, rng):
+        m = _fitted_lcm(rng)
+        _, var = m.predict_tasks([0, 1, 2], rng.random((30, 2)))
+        assert np.all(var >= 0.0)
+
+    def test_validation(self, rng):
+        m = _fitted_lcm(rng, delta=2)
+        with pytest.raises(ValueError):
+            m.predict_tasks([0, 5], rng.random((4, 2)))
+        with pytest.raises(ValueError):
+            m.predict_tasks([], rng.random((4, 2)))
+        with pytest.raises(ValueError):
+            m.predict_tasks([0, 1], rng.random((3, 4, 2)))  # 3 blocks, 2 tasks
+        with pytest.raises(RuntimeError):
+            LCM(2, 2, seed=0).predict_tasks([0], rng.random((4, 2)))
+
+
+class TestBatchedParticleSwarm:
+    def test_finds_per_task_maxima(self):
+        targets = np.array([[0.2, 0.8], [0.7, 0.3], [0.5, 0.5]])
+
+        def f(X):  # (T, P, d) -> (T, P)
+            return -np.sum((X - targets[:, None, :]) ** 2, axis=2)
+
+        pso = BatchedParticleSwarm(dim=2, n_tasks=3, n_particles=30, iterations=40, seed=0)
+        x, v = pso.maximize(f)
+        assert x.shape == (3, 2) and v.shape == (3,)
+        assert np.allclose(x, targets, atol=0.05)
+
+    def test_respects_bounds(self):
+        def f(X):
+            return X[..., 0]
+
+        x, _ = BatchedParticleSwarm(dim=1, n_tasks=2, n_particles=10, iterations=30, seed=1).maximize(f)
+        assert np.all((x >= 0.0) & (x <= 1.0))
+        assert np.all(x[:, 0] > 0.95)
+
+    def test_seed_reproducible(self):
+        f = lambda X: -np.sum((X - 0.5) ** 2, axis=2)
+        a = BatchedParticleSwarm(2, 3, 10, 10, seed=5).maximize(f)
+        b = BatchedParticleSwarm(2, 3, 10, 10, seed=5).maximize(f)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_x0_incumbents_never_lost(self):
+        """Injected per-task seeds survive via elitist personal bests."""
+        targets = np.array([[0.1, 0.9], [0.9, 0.1]])
+        f = lambda X: -np.sum((X - targets[:, None, :]) ** 2, axis=2)
+        pso = BatchedParticleSwarm(dim=2, n_tasks=2, n_particles=5, iterations=2, seed=0)
+        _, v = pso.maximize(f, x0=targets)
+        assert np.all(v >= -1e-12)
+
+    def test_top_batch_per_task(self):
+        f = lambda X: -np.sum((X - 0.5) ** 2, axis=2)
+        pso = BatchedParticleSwarm(dim=2, n_tasks=2, n_particles=20, iterations=10, seed=2)
+        pso.maximize(f)
+        tops = pso.top_batch(3, min_dist=0.01)
+        assert len(tops) == 2
+        for arr in tops:
+            assert 1 <= arr.shape[0] <= 3 and arr.shape[1] == 2
+            for a in range(arr.shape[0]):
+                for b in range(a + 1, arr.shape[0]):
+                    assert np.linalg.norm(arr[a] - arr[b]) >= 0.01
+
+    def test_top_batch_before_maximize_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchedParticleSwarm(2, 2, seed=0).top_batch(2)
+
+
+class TestBatchedEIAcquisition:
+    def test_matches_per_task_ei(self, rng):
+        m = _fitted_lcm(rng, delta=3)
+        ybest = np.array([0.2, 0.5, -0.1])
+        batched = BatchedEIAcquisition(
+            lambda X: m.predict_tasks([0, 1, 2], X), y_best=ybest
+        )
+        blocks = rng.random((3, 8, 2))
+        ei = batched(blocks)
+        assert ei.shape == (3, 8)
+        for t in range(3):
+            ref = EIAcquisition(lambda X, t=t: m.predict(t, X), y_best=float(ybest[t]))
+            assert np.allclose(ei[t], ref(blocks[t]), atol=1e-10)
+
+    def test_per_task_feasibility_masks(self, rng):
+        m = _fitted_lcm(rng, delta=2)
+        feas = [lambda X: X[:, 0] < 0.5, None]
+        batched = BatchedEIAcquisition(
+            lambda X: m.predict_tasks([0, 1], X),
+            y_best=np.array([1.0, 1.0]),
+            feasibility=feas,
+        )
+        blocks = np.stack([np.array([[0.1, 0.5], [0.9, 0.5]])] * 2)
+        ei = batched(blocks)
+        assert np.isfinite(ei[0, 0]) and ei[0, 1] == -np.inf
+        assert np.all(np.isfinite(ei[1]))
+
+    def test_shape_validation(self, rng):
+        m = _fitted_lcm(rng, delta=2)
+        acq = BatchedEIAcquisition(
+            lambda X: m.predict_tasks([0, 1], X), y_best=np.zeros(2)
+        )
+        with pytest.raises(ValueError):
+            acq(rng.random((4, 2)))  # missing task axis
+
+
+def _analytical_problem():
+    return TuningProblem(
+        task_space=Space([Real("t", 0.0, 1.0)]),
+        tuning_space=Space([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)]),
+        objective=lambda task, cfg: 1.0
+        + (cfg["x"] - 0.2 - 0.3 * task["t"]) ** 2
+        + (cfg["y"] - 0.7 * task["t"]) ** 2,
+        name="batched-search-analytical",
+    )
+
+
+TASKS = [{"t": 0.15}, {"t": 0.5}, {"t": 0.85}]
+BASE = dict(seed=3, n_start=1, pso_iters=8, ei_candidates=12, lbfgs_maxiter=50)
+
+
+def _campaign(**kw):
+    opts = Options(**{**BASE, **kw})
+    return GPTune(_analytical_problem(), opts).tune(TASKS, 12)
+
+
+class TestBatchedCampaign:
+    def test_batched_within_5pct_of_sequential(self):
+        batched = _campaign(search_batched=True)
+        sequential = _campaign(search_batched=False)
+        assert np.all(batched.best_values() <= sequential.best_values() * 1.05)
+
+    def test_batched_deterministic(self):
+        a = _campaign(search_batched=True)
+        b = _campaign(search_batched=True)
+        assert a.data.to_records() == b.data.to_records()
+
+    def test_sequential_deterministic(self):
+        a = _campaign(search_batched=False)
+        b = _campaign(search_batched=False)
+        assert a.data.to_records() == b.data.to_records()
+
+    def test_executor_thread_deterministic_and_close(self):
+        a = _campaign(search_batched=False, search_backend="thread")
+        b = _campaign(search_batched=False, search_backend="thread")
+        assert a.data.to_records() == b.data.to_records()
+        sequential = _campaign(search_batched=False)
+        assert np.all(a.best_values() <= sequential.best_values() * 1.05)
+
+    def test_search_mode_events_and_spans(self):
+        for expect, kw in (
+            ("batched", dict(search_batched=True)),
+            ("sequential", dict(search_batched=False)),
+            ("executor", dict(search_batched=False, search_backend="thread")),
+        ):
+            res = _campaign(telemetry=True, **kw)
+            modes = [e for e in res.events.events if e.kind == "search-mode"]
+            assert [e.fields.get("mode") for e in modes] == [expect]
+            assert modes[0].fields.get("algo") == "pso-ei"
+            spans = [
+                e
+                for e in res.events.events
+                if e.kind == "span" and e.fields.get("name") == "phase.search"
+            ]
+            assert spans and all(s.fields.get("mode") == expect for s in spans)
+
+    def test_batch_evals_diverse_proposals(self):
+        res = _campaign(search_batched=True, batch_evals=2)
+        assert min(res.data.n_samples(i) for i in range(3)) >= 12
+
+    def test_multiobjective_batched_matches_modes(self):
+        prob = TuningProblem(
+            task_space=Space([Real("t", 0.0, 1.0)]),
+            tuning_space=Space([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)]),
+            objective=lambda task, cfg: [
+                (cfg["x"] - task["t"]) ** 2 + 0.1,
+                (cfg["y"] - 0.5) ** 2 + 0.1,
+            ],
+            n_objectives=2,
+            name="batched-search-mo",
+        )
+        opts = dict(seed=0, n_start=1, nsga_pop=10, nsga_gens=3, pareto_batch=2, lbfgs_maxiter=40)
+        for expect, kw in (
+            ("batched", dict(search_batched=True)),
+            ("sequential", dict(search_batched=False)),
+        ):
+            res = GPTune(prob, Options(**opts, **kw)).tune([{"t": 0.2}, {"t": 0.8}], 10)
+            modes = [e.fields.get("mode") for e in res.events.events if e.kind == "search-mode"]
+            assert modes == [expect]
+            for i in range(2):
+                front, _ = res.pareto_front(i)
+                assert len(front) >= 1
+
+
+class TestModeSelection:
+    def test_non_lcm_models_disable_batching(self):
+        tuner = GPTune(_analytical_problem(), Options(seed=0))
+        fallback = IndependentGPs([None])
+        assert tuner._select_search_mode([fallback], None) == "sequential"
+        tuner2 = GPTune(
+            _analytical_problem(), Options(seed=0, search_backend="thread")
+        )
+        assert tuner2._select_search_mode([fallback], None) == "executor"
+
+    def test_featurizer_disables_batching(self, rng):
+        tuner = GPTune(_analytical_problem(), Options(seed=0))
+        lcm = _fitted_lcm(rng)
+        assert tuner._select_search_mode([lcm], object()) == "sequential"
+        assert tuner._select_search_mode([lcm], None) == "batched"
+
+    def test_search_batched_off_prefers_backend(self, rng):
+        lcm = _fitted_lcm(rng)
+        tuner = GPTune(
+            _analytical_problem(),
+            Options(seed=0, search_batched=False, search_backend="process"),
+        )
+        assert tuner._select_search_mode([lcm], None) == "executor"
