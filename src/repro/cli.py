@@ -114,6 +114,9 @@ def _archive_from(spec: str):
 
 def _cmd_tune(args) -> int:
     app = build_app(args.app, args.nodes, args.seed)
+    # async campaigns need an overlapping backend to stream; lockstep keeps
+    # the serial default
+    backend = args.backend or ("thread" if args.async_eval else "serial")
     try:
         opts = Options(
             seed=args.seed,
@@ -126,6 +129,9 @@ def _cmd_tune(args) -> int:
             telemetry=bool(args.telemetry),
             search_batched=not args.no_batched_search,
             search_backend=args.search_backend,
+            backend=backend,
+            async_eval=bool(args.async_eval),
+            max_inflight=args.max_inflight,
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -355,6 +361,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("serial", "thread", "process"),
         help="executor dispatching whole per-task searches when batching is "
              "off or impossible (default: serial)",
+    )
+    p_tune.add_argument(
+        "--async", dest="async_eval", action="store_true",
+        help="stream evaluations through the asynchronous queue instead of "
+             "the lockstep loop: completions are absorbed as they land and "
+             "stragglers no longer stall the other tasks (see docs/ASYNC.md)",
+    )
+    p_tune.add_argument(
+        "--max-inflight", type=int, metavar="N",
+        help="cap on concurrently outstanding evaluations with --async "
+             "(default: max(2, workers))",
+    )
+    p_tune.add_argument(
+        "--backend", default=None,
+        choices=("serial", "thread", "process"),
+        help="evaluation backend; with --async the default becomes 'thread' "
+             "so evaluations actually overlap",
     )
 
     p_cmp = sub.add_parser("compare", help="GPTune vs baseline tuners")

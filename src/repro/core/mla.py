@@ -36,6 +36,7 @@ import numpy as np
 
 from ..observability import MetricsRegistry, SpanRecorder
 from ..observability.spans import install_recorder, maybe_span
+from ..runtime.async_engine import AsyncEvalEngine, make_scheduler
 from ..runtime.resilience import RetryPolicy, RunCheckpoint
 from ..runtime.trace import CampaignLog
 from .acquisition import BatchedEIAcquisition, EIAcquisition
@@ -48,6 +49,7 @@ from .perfmodel import ModelFeaturizer
 from .problem import TuningProblem
 from .sampling import LHSSampler, sample_feasible
 from .search.nsga2 import NSGA2, crowding_distance, fast_non_dominated_sort
+from .search.penalty import PenalizedAcquisition, constant_liar
 from .search.pso import ParticleSwarm
 from .search.pso_batched import BatchedParticleSwarm
 
@@ -136,6 +138,32 @@ class _BatchEval:
 
     def __call__(self, item):
         idx, cfg = item
+        return self.problem.evaluate_outcome(self.tasks[idx], cfg, retry=self.retry)
+
+
+class _AsyncEval:
+    """Picklable evaluation callable for the async engine's schedulers.
+
+    The payload is ``(task_index, config)`` — the engine's submission unit.
+    Retries/timeouts run *inside* the scheduler's worker via
+    :meth:`~repro.core.problem.TuningProblem.evaluate_outcome`, so the
+    resilience ladder composes with the queue unchanged, and the returned
+    :class:`~repro.runtime.resilience.EvalOutcome` carries its events back
+    for replay into the campaign log.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        tasks: List[Mapping[str, Any]],
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.problem = problem
+        self.tasks = tasks
+        self.retry = retry
+
+    def __call__(self, payload):
+        idx, cfg = payload
         return self.problem.evaluate_outcome(self.tasks[idx], cfg, retry=self.retry)
 
 
@@ -290,6 +318,7 @@ class _SearchMultiTask:
             pop_size=self.pop_size,
             generations=self.generations,
             seed=self.seed,
+            label=f"task {self.task_index}",
         )
         Xf, Ff = nsga.minimize(lambda X: _mo_lcb(predicts, feasible, X), x0=self.x0)
         popX, popF = nsga.population
@@ -368,6 +397,13 @@ class GPTune:
         start instead of ``options.n_start`` cold multi-starts, and every
         successful fit is cached for the next campaign.  May also be set via
         ``options.model_cache_path``.
+    scheduler:
+        Optional async-engine scheduler override for
+        ``options.async_eval`` campaigns (any object with the
+        ``start``/``wait``/``remaining``/``shutdown`` protocol of
+        :mod:`repro.runtime.async_engine`).  Tests and benchmarks inject a
+        :class:`~repro.runtime.async_engine.SimScheduler` here; by default
+        the scheduler is built from ``options.backend``/``n_workers``.
     """
 
     def __init__(
@@ -376,10 +412,12 @@ class GPTune:
         options: Optional[Options] = None,
         history: Optional[HistoryDB] = None,
         model_cache: Optional[Any] = None,
+        scheduler: Optional[Any] = None,
     ):
         self.problem = problem
         self.options = options or Options()
         self.history = history
+        self._scheduler = scheduler
         self.model_cache = model_cache
         if self.model_cache is None and self.options.model_cache_path is not None:
             from ..service.modelcache import SurrogateCache
@@ -497,9 +535,20 @@ class GPTune:
             )
 
     def _checkpoint(
-        self, data: TuningData, n_samples: int, frozen: Sequence[int], iteration: int, stats
+        self,
+        data: TuningData,
+        n_samples: int,
+        frozen: Sequence[int],
+        iteration: int,
+        stats,
+        pending: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
-        """Write the resumable campaign snapshot (if configured)."""
+        """Write the resumable campaign snapshot (if configured).
+
+        ``pending`` carries an async campaign's in-flight evaluations
+        (``{"task", "x", "eta"}`` in submission order) so a resumed run can
+        resubmit them with their remaining durations preserved.
+        """
         path = self.options.checkpoint_path
         if path is None or iteration % self.options.checkpoint_every != 0:
             return
@@ -514,6 +563,7 @@ class GPTune:
             stats={k: float(v) for k, v in stats.items()},
             X=[[dict(x) for x in xs] for xs in data.X],
             Y=[[[float(v) for v in y] for y in ys] for ys in data.Y],
+            pending=list(pending or []),
         )
         ck.save(path)
         self.events.record("checkpoint", f"iteration {iteration} -> {path}")
@@ -650,14 +700,16 @@ class GPTune:
             "n_eval_failures": 0.0,
         }
 
+        resume_children: List[np.random.SeedSequence] = []
         if _resume is not None:
             # Restore the exact campaign state: evaluation sets, phase stats,
             # and the seed tree fast-forwarded past every child already spawned,
             # so the continuation takes the same decisions the uninterrupted
-            # run would have.
+            # run would have.  The already-spawned children are kept: the
+            # async path re-derives its design-sampler seed from children[0].
             self._seeds = np.random.SeedSequence(_resume.entropy)
             if _resume.spawn_count > 0:
-                self._seeds.spawn(int(_resume.spawn_count))
+                resume_children = self._seeds.spawn(int(_resume.spawn_count))
             for i, (xs, ys) in enumerate(zip(_resume.X, _resume.Y)):
                 for x, y in zip(xs, ys):
                     data.add(i, x, y)
@@ -677,6 +729,26 @@ class GPTune:
         for i in frozen_set:
             if data.n_samples(i) == 0:
                 raise ValueError(f"frozen task {i} has no preloaded data")
+
+        if self.options.async_eval:
+            if gamma == 1 and not self.problem.has_models:
+                return self._tune_async(
+                    data, stats, active, frozen_set, n_samples, callback,
+                    _resume, resume_children,
+                )
+            self.events.record(
+                "async-fallback",
+                "async_eval needs a single objective and no performance "
+                "models; running lockstep",
+                gamma=gamma,
+                has_models=self.problem.has_models,
+            )
+        if _resume is not None and _resume.pending:
+            raise ValueError(
+                f"checkpoint holds {len(_resume.pending)} in-flight "
+                "evaluation(s) from an async campaign; resume with "
+                "Options(async_eval=True) or they would be lost"
+            )
 
         # -- sampling phase ------------------------------------------------
         eps_init = max(2, int(round(n_samples * self.options.initial_fraction)))
@@ -765,6 +837,318 @@ class GPTune:
             callback=callback,
             _resume=ck,
         )
+
+    # -- asynchronous streaming campaign (Options.async_eval) ------------------
+    def _tune_async(
+        self,
+        data: TuningData,
+        stats,
+        active: Sequence[int],
+        frozen_set,
+        n_samples: int,
+        callback: Optional[Any],
+        _resume: Optional[RunCheckpoint],
+        resume_children: List[np.random.SeedSequence],
+    ) -> TuneResult:
+        """Streaming MLA: bounded in-flight queue instead of lockstep barriers.
+
+        The loop per round: (1) refit/extend the posterior on everything
+        absorbed so far, (2) *fill* free queue slots with proposals against
+        the freshest posterior (design entries first, then penalized-EI
+        search, always the task with the fewest committed evaluations),
+        (3) *drain* — block until at least one evaluation lands — and absorb
+        the completions in submission-sequence order.  One straggling
+        evaluation holds exactly one slot; every other task keeps streaming.
+
+        Determinism: drain batches are seq-sorted by the engine, every
+        seed-consuming decision spawns its own seed-tree child in published
+        order, and the LHS design is regenerated on resume from the
+        campaign's *first* child seed — so under a deterministic scheduler a
+        killed+resumed campaign is bit-identical to the uninterrupted one
+        (with the default full-refit modeling options; see docs/ASYNC.md).
+        """
+        opts = self.options
+        space = data.tuning_space
+
+        # The design sampler seed is unconditionally the async campaign's
+        # first seed-tree child, so a resumed run re-derives it from
+        # children[0] instead of spawning anew.
+        if _resume is not None:
+            design_seed = int(resume_children[0].generate_state(1)[0])
+        else:
+            design_seed = self._child_seed()
+        eps_init = max(2, int(round(n_samples * opts.initial_fraction)))
+        with maybe_span("phase.sampling", eps_init=eps_init, mode="async") as sp:
+            sampler = LHSSampler(space, seed=design_seed)
+            design = {
+                i: sampler.sample(eps_init, extra=data.tasks[i]) for i in active
+            }
+            sp.annotate(n_configs=sum(len(v) for v in design.values()))
+        design_ptr = {i: 0 for i in active}
+
+        scheduler = self._scheduler
+        if scheduler is None:
+            scheduler = make_scheduler(
+                opts.backend, opts.n_workers, on_event=self.events.record
+            )
+        max_inflight = (
+            int(opts.max_inflight)
+            if opts.max_inflight is not None
+            else max(2, opts.n_workers)
+        )
+        eng = AsyncEvalEngine(
+            _AsyncEval(self.problem, [dict(t) for t in data.tasks], self._retry),
+            scheduler,
+            max_inflight,
+        )
+        self.events.record(
+            "async-start",
+            f"{type(scheduler).__name__}, max_inflight={max_inflight}, "
+            f"penalty={opts.pending_penalty}",
+            scheduler=type(scheduler).__name__,
+            max_inflight=max_inflight,
+            penalty=opts.pending_penalty,
+        )
+
+        # per-task in-flight bookkeeping: normalized-key -> unit point (for
+        # the pending penalty and dedup) plus a plain count (key collisions
+        # in an exhausted discrete space must not undercount slots)
+        pend_units: List[Dict[tuple, np.ndarray]] = [
+            {} for _ in range(data.n_tasks)
+        ]
+        inflight_cnt = [0] * data.n_tasks
+
+        def unit_key(cfg):
+            u = space.normalize(cfg)
+            return tuple(np.round(u, 9)), u
+
+        def submit(i, cfg, eta=None):
+            key, u = unit_key(cfg)
+            eng.submit(i, cfg, eta=eta)
+            pend_units[i][key] = u
+            inflight_cnt[i] += 1
+
+        if _resume is not None:
+            for entry in _resume.pending:
+                submit(int(entry["task"]), dict(entry["x"]), eta=entry.get("eta"))
+
+        def next_design(i):
+            # next unconsumed design entry whose key is neither evaluated
+            # nor in flight; the skip rule replays identically on resume
+            seen = data.seen_keys(i)
+            while design_ptr[i] < len(design[i]):
+                cfg = design[i][design_ptr[i]]
+                design_ptr[i] += 1
+                key, _ = unit_key(cfg)
+                if key in seen or key in pend_units[i]:
+                    continue
+                return cfg
+            return None
+
+        bundle: Optional[Tuple[List[Any], List[_YTransform], List[np.ndarray]]] = None
+
+        def fill():
+            blocked = set()
+            while eng.can_submit:
+                cands = [
+                    i
+                    for i in active
+                    if i not in blocked
+                    and data.n_samples(i) + inflight_cnt[i] < n_samples
+                ]
+                if not cands:
+                    return
+                # fewest committed (done + in-flight) evaluations first
+                i = min(cands, key=lambda j: (data.n_samples(j) + inflight_cnt[j], j))
+                cfg = None
+                if data.n_samples(i) + inflight_cnt[i] < eps_init:
+                    cfg = next_design(i)
+                if cfg is None:
+                    cfg = self._propose_async(data, i, bundle, pend_units, stats)
+                if cfg is None:
+                    # no surrogate yet: leave the slot open until the next fit
+                    blocked.add(i)
+                    continue
+                submit(i, cfg)
+
+        rounds = int(_resume.iteration) if _resume is not None else 0
+        t_begin = time.perf_counter()
+        total_wait = 0.0
+        while min(data.n_samples(i) for i in active) < n_samples:
+            # modeling precedes fill so proposals see every absorbed result;
+            # on resume the first pass refits from the restored data before
+            # anything new is submitted (the checkpoint is written pre-fit,
+            # which is what keeps the resumed seed tree aligned)
+            if min(data.n_samples(i) for i in active) >= 2:
+                bundle = self._fit_models(data, stats, None)
+            fill()
+            if eng.inflight == 0:
+                break  # budget reached or nothing proposable
+            with maybe_span("async.wait", inflight=eng.inflight) as sp:
+                inflight_before = eng.inflight
+                batch, wait_s = eng.drain()
+                sp.annotate(n=len(batch), wait_s=wait_s)
+            total_wait += wait_s
+            for ce in batch:
+                self._record(data, ce.task, ce.config, ce.outcome, stats)
+                inflight_cnt[ce.task] -= 1
+                key, _ = unit_key(ce.config)
+                pend_units[ce.task].pop(key, None)
+                if opts.telemetry:
+                    # lockstep wraps each objective call in a live
+                    # "phase.evaluation" span; here the call ran inside the
+                    # scheduler, so emit the equivalent span event from the
+                    # outcome's measured wall time — `repro report` sums match
+                    self.events.record(
+                        "span",
+                        f"phase.evaluation {ce.outcome.wall_time * 1e3:.3f}ms",
+                        name="phase.evaluation",
+                        dur_s=float(ce.outcome.wall_time),
+                        task=ce.task,
+                        seq=ce.seq,
+                        mode="async",
+                    )
+            self.metrics.set_gauge("repro_eval_inflight", float(eng.inflight))
+            self.events.record(
+                "async-drain",
+                f"{len(batch)} completion(s) after {wait_s:.3g}s; "
+                f"{eng.inflight} still in flight",
+                n=len(batch),
+                wait_s=float(wait_s),
+                inflight=int(inflight_before),
+            )
+            rounds += 1
+            self._checkpoint(
+                data,
+                n_samples,
+                frozen_set,
+                rounds,
+                stats,
+                pending=[
+                    {"task": int(t), "x": dict(cfg), "eta": eta}
+                    for (_seq, t, cfg, eta) in eng.pending_snapshot()
+                ],
+            )
+            if self.options.verbose:  # pragma: no cover - logging
+                done = [data.n_samples(i) for i in range(data.n_tasks)]
+                print(f"[gptune] async round={rounds} samples={done} "
+                      f"inflight={eng.inflight}")
+            if callback is not None and callback(rounds, data, stats):
+                break
+            if (
+                opts.max_seconds is not None
+                and time.perf_counter() - t_begin >= opts.max_seconds
+            ):
+                break
+
+        self.metrics.set_gauge("repro_eval_inflight", 0.0)
+        self.events.record(
+            "async-stop",
+            f"{eng.submitted} submitted, {eng.completed} completed, "
+            f"peak inflight {eng.peak_inflight}, "
+            f"{total_wait:.3g}s total drain wait",
+            submitted=int(eng.submitted),
+            completed=int(eng.completed),
+            peak_inflight=int(eng.peak_inflight),
+            wait_s=float(total_wait),
+        )
+        eng.shutdown()
+        models = list(bundle[0]) if bundle is not None else []
+        stats["total_time"] = (
+            stats["objective_time"] + stats["modeling_time"] + stats["search_time"]
+        )
+        self.events.record(
+            "stats",
+            "campaign phase totals",
+            **{k: float(v) for k, v in stats.items()},
+        )
+        return TuneResult(data, stats, models, events=self.events, metrics=self.metrics)
+
+    def _propose_async(
+        self,
+        data: TuningData,
+        task: int,
+        bundle,
+        pend_units: List[Dict[tuple, np.ndarray]],
+        stats,
+    ) -> Optional[Dict[str, Any]]:
+        """One streaming proposal for ``task`` against the current posterior.
+
+        EI is maximized with the in-flight set discounted per
+        ``options.pending_penalty``: ``"cl"`` extends a copy of the
+        posterior with incumbent-valued lies at every pending point (all
+        tasks — cross-task correlations steer every task away), falling
+        back to local penalization when the copy/extend is impossible
+        (e.g. the :class:`IndependentGPs` rung); ``"lp"`` multiplies EI by
+        the compactly supported distance penalty over this task's pending
+        points; ``"none"`` relies on dedup alone.  Returns ``None`` before
+        the first model fit — the caller leaves the slot open.
+        """
+        if bundle is None:
+            return None
+        models, _transforms, ybests = bundle
+        space = data.tuning_space
+        opts = self.options
+        t0 = time.perf_counter()
+        with maybe_span("phase.search", algo="pso-ei", mode="async", task=task):
+            rng = np.random.default_rng(self._child_seed())
+            extra = set(pend_units[task])
+            model = models[0]
+            if model is None:  # fully degraded: random search
+                cand = sample_feasible(
+                    space, 1, rng, extra=data.tasks[task]
+                )[0]
+                cfg = self._dedup(data, task, cand, rng, extra=extra)
+            else:
+                yb = ybests[0]
+                acq_model = model
+                penalize = False
+                pending_all = [
+                    (i, u)
+                    for i in range(data.n_tasks)
+                    for u in pend_units[i].values()
+                ]
+                if opts.pending_penalty == "cl" and pending_all:
+                    finite = yb[np.isfinite(yb)]
+                    fallback_lie = float(finite.max()) if finite.size else 0.0
+                    tix = np.array([i for i, _ in pending_all], dtype=int)
+                    lies = np.array(
+                        [
+                            yb[i] if np.isfinite(yb[i]) else fallback_lie
+                            for i in tix
+                        ]
+                    )
+                    liar = constant_liar(
+                        model, np.vstack([u for _, u in pending_all]), tix, lies
+                    )
+                    if liar is not None:
+                        acq_model = liar
+                    else:
+                        penalize = True  # cl impossible: local penalization
+                elif opts.pending_penalty == "lp":
+                    penalize = True
+                acq = EIAcquisition(
+                    self._predict_unit(acq_model, task, data.tasks[task], None),
+                    y_best=float(yb[task]),
+                    feasibility=_feasibility_or_none(self.problem, data.tasks[task]),
+                )
+                if penalize and extra:
+                    acq = PenalizedAcquisition(
+                        acq,
+                        np.vstack(list(pend_units[task].values())),
+                        opts.penalty_radius,
+                    )
+                pso = ParticleSwarm(
+                    dim=space.dimension,
+                    n_particles=opts.ei_candidates,
+                    iterations=opts.pso_iters,
+                    seed=int(rng.integers(2**31)),
+                )
+                x0 = space.normalize(data.best(task)[0])[None, :]
+                xunit, _ = pso.maximize(acq, x0=x0)
+                cfg = self._dedup(data, task, space.denormalize(xunit), rng, extra=extra)
+        stats["search_time"] += time.perf_counter() - t0
+        return cfg
 
     # -- single-objective iteration (Algorithm 1) ------------------------------
     def _fit_models(
@@ -1215,15 +1599,25 @@ class GPTune:
             self._record(data, i, cfg, outcome, stats)
 
     def _dedup(
-        self, data: TuningData, task: int, cfg: Dict[str, Any], rng: np.random.Generator
+        self,
+        data: TuningData,
+        task: int,
+        cfg: Dict[str, Any],
+        rng: np.random.Generator,
+        extra: Optional[set] = None,
     ) -> Dict[str, Any]:
         """Replace an already-evaluated proposal with a fresh feasible point.
 
         ``rng`` is hoisted by the caller — one generator per search phase
         threaded through every proposal, rather than spawning a fresh
-        ``default_rng`` (and a seed-tree child) per duplicate hit.
+        ``default_rng`` (and a seed-tree child) per duplicate hit.  ``extra``
+        adds keys to avoid beyond the evaluated set — the async driver
+        passes the task's in-flight keys so a config is never submitted
+        twice even before its first evaluation lands.
         """
         seen = self._seen_keys(data, task)
+        if extra:
+            seen = seen | set(extra)
         key = tuple(np.round(data.tuning_space.normalize(cfg), 9))
         if key not in seen:
             return cfg
@@ -1296,6 +1690,7 @@ class GPTune:
                 pop_size=self.options.nsga_pop,
                 generations=self.options.nsga_gens,
                 seed=self._child_seed(),
+                label=f"task {i}",
             )
             Xf, Ff = nsga.minimize(
                 lambda X, pr=predicts, fe=feasible: _mo_lcb(pr, fe, X),
@@ -1328,8 +1723,9 @@ class GPTune:
                 pop_size=self.options.nsga_pop,
                 generations=self.options.nsga_gens,
                 seed=self._child_seed(),
+                label=f"task {i}",
             )
-            for _ in active
+            for i in active
         ]
 
         def eval_stacked(X: np.ndarray) -> np.ndarray:

@@ -53,6 +53,32 @@ class Options:
         ``"thread"`` or ``"process"``.
     n_workers:
         Worker count for the thread/process backends.
+    async_eval:
+        Run the campaign through the asynchronous evaluation queue
+        (:mod:`repro.runtime.async_engine`) instead of the lockstep loop:
+        evaluations are submitted as proposals are made (up to
+        ``max_inflight`` outstanding), completions stream back as they
+        finish, the posterior absorbs each drained batch incrementally
+        (``refit_interval`` controls extend-vs-refit as in lockstep), and
+        the search proposes continuously against the freshest posterior
+        with a ``pending_penalty`` so in-flight configurations are never
+        re-proposed.  One straggling evaluation no longer stalls the other
+        tasks.  Requires γ = 1 and no performance models; otherwise the
+        driver falls back to lockstep with an ``"async-fallback"`` event.
+        Lockstep (the default) remains the degradation target — see
+        ``docs/ASYNC.md`` for the ordering/determinism contract.
+    max_inflight:
+        Cap on concurrently outstanding evaluations in async mode.
+        ``None`` → ``max(2, n_workers)``.
+    pending_penalty:
+        How async proposals avoid in-flight points: ``"cl"`` (constant
+        liar — the posterior copy is extended with incumbent-valued lies at
+        pending points; the default), ``"lp"`` (local penalization — EI is
+        multiplied by a compactly supported distance factor), or ``"none"``.
+        See :mod:`repro.core.search.penalty`.
+    penalty_radius:
+        Unit-cube radius of the ``"lp"`` penalty (also the fallback when
+        the constant-liar extension fails).
     search_batched:
         Run the search phase in *lockstep batched* mode: all active tasks'
         PSO swarms (γ = 1) or NSGA-II populations (γ > 1) advance together
@@ -166,6 +192,10 @@ class Options:
     initial_fraction: float = 0.5
     backend: str = "serial"
     n_workers: int = 2
+    async_eval: bool = False
+    max_inflight: Optional[int] = None
+    pending_penalty: str = "cl"
+    penalty_radius: float = 0.15
     search_batched: bool = True
     search_backend: str = "serial"
     seed: Optional[int] = None
@@ -197,6 +227,12 @@ class Options:
             raise ValueError(f"unknown y_transform {self.y_transform!r}")
         if self.backend not in ("serial", "thread", "process"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.pending_penalty not in ("cl", "lp", "none"):
+            raise ValueError(f"unknown pending_penalty {self.pending_penalty!r}")
+        if self.penalty_radius <= 0:
+            raise ValueError("penalty_radius must be positive")
         if self.search_backend not in ("serial", "thread", "process"):
             raise ValueError(f"unknown search_backend {self.search_backend!r}")
         if self.pareto_batch < 1:

@@ -80,6 +80,10 @@ class NSGA2:
         (``None`` → ``1/dim``).
     seed:
         Randomness seed.
+    label:
+        Optional context string (e.g. ``"task 3"``) included in stepping-API
+        protocol errors so a misuse inside a multi-task lockstep loop names
+        the instance (and generation) that raised.
     """
 
     def __init__(
@@ -92,10 +96,13 @@ class NSGA2:
         p_crossover: float = 0.9,
         p_mutation: Optional[float] = None,
         seed: Optional[int] = None,
+        label: Optional[str] = None,
     ):
         if dim < 1:
             raise ValueError("dim must be >= 1")
         self.dim = int(dim)
+        self.label = label
+        self._generation = 0
         self.pop_size = int(pop_size) + int(pop_size) % 2
         self.generations = max(1, int(generations))
         self.eta_c = float(eta_crossover)
@@ -171,12 +178,18 @@ class NSGA2:
         self._pop = pop
         self._F = None
         self._children = None
+        self._generation = 0
         return pop
+
+    def _context(self) -> str:
+        """Error-context suffix naming the instance and its generation."""
+        where = f"{self.label}, " if self.label else ""
+        return f" ({where}generation {self._generation})"
 
     def ask(self) -> np.ndarray:
         """Breed one generation of children from the current population."""
         if self._pop is None or self._F is None:
-            raise RuntimeError("ask() before initialize()/tell()")
+            raise RuntimeError("ask() before initialize()/tell()" + self._context())
         pop, F = self._pop, self._F
         fronts = fast_non_dominated_sort(F)
         rank = np.empty(pop.shape[0], dtype=int)
@@ -193,6 +206,7 @@ class NSGA2:
             children.append(self._mutate(c1))
             children.append(self._mutate(c2))
         self._children = np.vstack(children[: self.pop_size])
+        self._generation += 1
         return self._children
 
     def tell(self, F: np.ndarray) -> None:
@@ -204,14 +218,14 @@ class NSGA2:
         """
         F = np.atleast_2d(np.asarray(F, dtype=float))
         if self._pop is None:
-            raise RuntimeError("tell() before initialize()")
+            raise RuntimeError("tell() before initialize()" + self._context())
         if self._F is None:
             if F.shape[0] != self._pop.shape[0]:
                 raise ValueError("fitness row count != population size")
             self._F = F
             return
         if self._children is None:
-            raise RuntimeError("tell() without a pending ask()")
+            raise RuntimeError("tell() without a pending ask()" + self._context())
         if F.shape[0] != self._children.shape[0]:
             raise ValueError("fitness row count != children count")
         # elitist environmental selection on parents ∪ children

@@ -1,0 +1,133 @@
+"""Pending-point penalties for asynchronous proposal search.
+
+When evaluations stream through the async engine, the search phase proposes
+against a posterior that has not yet absorbed the in-flight configurations.
+Left alone, EI would keep proposing the same promising point until its
+evaluation lands.  Two standard batch-BO devices prevent that:
+
+* **Local penalization** (:func:`local_penalty`,
+  :class:`PenalizedAcquisition`) — multiply the acquisition by
+  ``∏_j min(‖x − p_j‖ / r, 1)`` over pending points ``p_j``.  The factor is
+  0 at a pending point, grows linearly to 1 at distance ``r``, and is
+  exactly 1 beyond it, so (for a non-negative acquisition like EI) the
+  penalized value is ≤ the unpenalized one everywhere, strictly lower
+  inside the penalization radius, and *identical* outside it.  Factors are
+  sorted before multiplying, so the result is invariant to pending-set
+  ordering down to the last bit (floating-point products are not otherwise
+  associative).  These four properties are checked by hypothesis in
+  ``tests/test_property_based.py``.
+* **Constant liar** (:func:`constant_liar`) — extend a *copy* of the fitted
+  multitask posterior with fabricated observations ("lies") at the pending
+  points via the O(N²·n_new) block-Cholesky update
+  (:meth:`repro.core.lcm.LCM.extend`).  The posterior variance collapses at
+  pending points, steering EI away while keeping cross-task correlations;
+  the lie value used by the driver is the pending task's incumbent (the
+  "CL-min" variant, pessimistic about in-flight points).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PenalizedAcquisition", "constant_liar", "local_penalty"]
+
+
+def local_penalty(Xunit: np.ndarray, pending: Any, radius: float) -> np.ndarray:
+    """Multiplicative local-penalization factor in ``[0, 1]`` per candidate.
+
+    Parameters
+    ----------
+    Xunit:
+        Candidate points ``(n, dim)`` (or a single point) on the unit cube.
+    pending:
+        Pending points ``(m, dim)``; empty → factor 1 everywhere.
+    radius:
+        Penalization radius ``r > 0`` in unit-cube Euclidean distance.
+
+    Returns ``∏_j min(‖x − p_j‖ / r, 1)`` for each candidate, with the
+    per-pending factors sorted before the product so the result is exactly
+    invariant to the ordering of ``pending``.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    X = np.atleast_2d(np.asarray(Xunit, dtype=float))
+    P = np.asarray(pending, dtype=float)
+    if P.size == 0:
+        return np.ones(X.shape[0])
+    P = np.atleast_2d(P)
+    d = np.sqrt(np.sum((X[:, None, :] - P[None, :, :]) ** 2, axis=2))
+    factors = np.minimum(d / float(radius), 1.0)
+    factors.sort(axis=1)  # canonical order: bit-exact permutation invariance
+    return np.prod(factors, axis=1)
+
+
+class PenalizedAcquisition:
+    """Wrap an acquisition with the local pending-point penalty.
+
+    The base acquisition must be maximized and non-negative on feasible
+    points (EI is); infeasible sentinels (``-inf``) pass through unscaled so
+    ``-inf * 0 = nan`` can never leak into the optimizer.
+    """
+
+    def __init__(
+        self,
+        acquisition: Callable[[np.ndarray], np.ndarray],
+        pending: Any,
+        radius: float,
+    ):
+        self.acquisition = acquisition
+        self.pending = np.atleast_2d(np.asarray(pending, dtype=float)) \
+            if np.asarray(pending).size else np.empty((0, 0))
+        self.radius = float(radius)
+
+    def __call__(self, Xunit: np.ndarray) -> np.ndarray:
+        values = np.asarray(self.acquisition(Xunit), dtype=float)
+        if self.pending.size == 0:
+            return values
+        pen = local_penalty(Xunit, self.pending, self.radius)
+        mask = np.isfinite(values) & (values > 0)
+        out = values.copy()
+        out[mask] = values[mask] * pen[mask]  # masked: -inf * 0 never happens
+        return out
+
+
+def constant_liar(
+    model: Any,
+    Xpending_unit: np.ndarray,
+    task_idx: Sequence[int],
+    lies: np.ndarray,
+) -> Optional[Any]:
+    """A deep-copied surrogate pretending the pending points were observed.
+
+    Parameters
+    ----------
+    model:
+        A fitted surrogate with an ``extend(X, y, tidx)`` posterior update
+        (the :class:`~repro.core.lcm.LCM`); the original is never mutated.
+    Xpending_unit:
+        Pending points ``(m, dim)`` on the unit cube.
+    task_idx:
+        Task index per pending point.
+    lies:
+        Fabricated observation per pending point, *in the surrogate's
+        transformed units* (the driver passes each task's incumbent).
+
+    Returns the extended copy, or ``None`` when the model cannot be copied
+    or extended — the caller falls back to local penalization.
+    """
+    X = np.atleast_2d(np.asarray(Xpending_unit, dtype=float))
+    if X.size == 0:
+        return model
+    try:
+        liar = copy.deepcopy(model)
+        liar.extend(
+            X,
+            np.asarray(lies, dtype=float).ravel(),
+            np.asarray(task_idx, dtype=int).ravel(),
+        )
+        return liar
+    except Exception:
+        return None

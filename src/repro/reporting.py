@@ -178,6 +178,10 @@ _SUMMARY_KINDS = (
     "search-mode",
     "checkpoint",
     "resume",
+    "async-start",
+    "async-drain",
+    "async-fallback",
+    "async-stop",
 )
 
 
@@ -252,6 +256,42 @@ def check_phase_stats(
     return ok, lines
 
 
+def _render_async(events) -> str:
+    """Queue-depth / straggler-wait summary of an async streaming campaign.
+
+    Built from the ``"async-drain"`` events: each carries the drained batch
+    size (``n``), the blocking wait before it (``wait_s`` — long waits are
+    stragglers holding their slot), and the queue depth the drain started
+    with (``inflight``).  Returns ``""`` for lockstep campaigns.
+    """
+    drains = [e for e in events if e.kind == "async-drain"]
+    if not drains:
+        return ""
+    waits = [float(e.fields.get("wait_s", 0.0)) for e in drains]
+    depths = [int(e.fields.get("inflight", 0)) for e in drains]
+    batch = [int(e.fields.get("n", 0)) for e in drains]
+    lines = ["async queue (from async-drain events)"]
+    lines.append(
+        f"{'drains':>18}  {len(drains)}   completions {sum(batch)}"
+    )
+    lines.append(
+        f"{'queue depth':>18}  mean {sum(depths) / len(depths):.2f}   "
+        f"max {max(depths)}"
+    )
+    lines.append(
+        f"{'drain wait':>18}  mean {sum(waits) / len(waits):.4g}s   "
+        f"max {max(waits):.4g}s   total {sum(waits):.4g}s"
+    )
+    for e in events:
+        if e.kind == "async-stop":
+            lines.append(
+                f"{'lifetime':>18}  submitted {int(e.fields.get('submitted', 0))}"
+                f"   completed {int(e.fields.get('completed', 0))}"
+                f"   peak inflight {int(e.fields.get('peak_inflight', 0))}"
+            )
+    return "\n".join(lines)
+
+
 def render_campaign_report(log, tolerance: float = 0.05) -> Tuple[str, bool]:
     """Render the Table-3-style report for one telemetry event log.
 
@@ -298,6 +338,10 @@ def render_campaign_report(log, tolerance: float = 0.05) -> Tuple[str, bool]:
         for name, v in model.items():
             lines.append(f"{name:>15}  count {int(v['count']):5d}  total {v['total_s']:.4f}s")
         sections.append("\n".join(lines))
+
+    async_section = _render_async(events)
+    if async_section:
+        sections.append(async_section)
 
     counts = log.counts()
     lines = ["events"]

@@ -382,6 +382,15 @@ class RunCheckpoint:
     (``X``/``Y``), the master RNG entropy plus how many child seeds were
     already spawned (``spawn_count`` — resuming fast-forwards the seed tree
     instead of replaying it), the iteration counter, and the phase stats.
+
+    ``pending`` records evaluations that were *in flight* when an async
+    campaign (``Options(async_eval=True)``) checkpointed: one entry
+    ``{"task", "x", "eta"}`` per outstanding evaluation, in submission
+    order, where ``eta`` is the remaining virtual duration under a
+    :class:`~repro.runtime.async_engine.SimScheduler` (``None`` for real
+    executors).  Resuming resubmits them first, preserving the original
+    completion schedule.  Lockstep resume refuses a checkpoint with pending
+    evaluations — they would be silently lost.
     """
 
     problem: str
@@ -394,6 +403,7 @@ class RunCheckpoint:
     stats: Dict[str, float]
     X: List[List[Dict[str, Any]]]
     Y: List[List[List[float]]]
+    pending: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     version: int = 1
 
     def save(self, path: str) -> None:
@@ -412,10 +422,16 @@ class RunCheckpoint:
         if not isinstance(raw, dict):
             raise ValueError(f"{path}: malformed checkpoint (expected an object)")
         names = {f.name for f in dataclasses.fields(cls)}
-        missing = names - set(raw)
+        required = {
+            f.name
+            for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        }
+        missing = required - set(raw)
         if missing:
             raise ValueError(f"{path}: checkpoint missing fields {sorted(missing)}")
-        ck = cls(**{k: raw[k] for k in names})
+        ck = cls(**{k: raw[k] for k in names if k in raw})
         if int(ck.version) != 1:
             raise ValueError(f"{path}: unsupported checkpoint version {ck.version}")
         if len(ck.X) != len(ck.tasks) or len(ck.Y) != len(ck.tasks):

@@ -1,0 +1,380 @@
+"""Straggler/fault battery for the asynchronous evaluation engine.
+
+Three layers are exercised:
+
+* engine invariants — the bounded in-flight cap is enforced, drain batches
+  are published in submission-sequence order regardless of scheduler-side
+  completion races, and the checkpoint snapshot reflects the in-flight set;
+* scheduler faults — an evaluation that dies mid-flight becomes a penalty
+  (``failure_value``) without stalling the queue, the retry ladder composes
+  with the queue unchanged, and a killed process-pool worker triggers a
+  rebuild + resubmission;
+* streaming behaviour — a 50×-median straggler holds exactly one slot while
+  every other task keeps completing, so the campaign makespan tracks the
+  straggler, not the sum of all evaluations.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import GPTune, Integer, Options, Real, Space, TuningProblem
+from repro.runtime.async_engine import (
+    AsyncEvalEngine,
+    CompletedEval,
+    ProcessScheduler,
+    SerialScheduler,
+    SimScheduler,
+    ThreadScheduler,
+    make_scheduler,
+)
+from repro.runtime.executor import WorkerError
+from repro.runtime.simclock import SimClock
+
+TASKS = [{"t": 1}, {"t": 4}]
+
+
+def _objective(t, c):
+    x = float(c["x"])
+    return (x - 0.35) ** 2 + 0.05 * np.sin(8.0 * x) + 0.01 * float(t["t"])
+
+
+def _problem(**kw):
+    return TuningProblem(
+        Space([Integer("t", 0, 10)]), Space([Real("x", 0.0, 1.0)]), _objective, **kw
+    )
+
+
+def _options(**kw):
+    base = dict(
+        seed=11,
+        n_start=2,
+        pso_iters=6,
+        ei_candidates=10,
+        lbfgs_maxiter=40,
+        async_eval=True,
+        max_inflight=3,
+    )
+    base.update(kw)
+    return Options(**base)
+
+
+def _assert_no_duplicates(res):
+    """No config is ever evaluated twice for the same task."""
+    for i in range(len(res.data.X)):
+        keys = [tuple(sorted(d.items())) for d in res.data.X[i]]
+        assert len(keys) == len(set(keys)), f"task {i} evaluated a config twice"
+
+
+def _echo(payload):
+    return payload
+
+
+# -- engine invariants --------------------------------------------------------
+
+
+class TestEngineInvariants:
+    def test_submit_past_cap_raises(self):
+        eng = AsyncEvalEngine(_echo, SerialScheduler(), max_inflight=2)
+        eng.submit(0, {"x": 0.1})
+        eng.submit(0, {"x": 0.2})
+        assert not eng.can_submit
+        with pytest.raises(RuntimeError, match="max_inflight"):
+            eng.submit(0, {"x": 0.3})
+
+    def test_max_inflight_validation(self):
+        with pytest.raises(ValueError):
+            AsyncEvalEngine(_echo, SerialScheduler(), max_inflight=0)
+
+    def test_drain_publishes_in_sequence_order(self):
+        # equal durations + seeded shuffle: the scheduler hands the batch
+        # back in adversarial order, the engine must re-sort by seq
+        sched = SimScheduler(lambda task, cfg: 1.0, shuffle_seed=7)
+        eng = AsyncEvalEngine(_echo, sched, max_inflight=5)
+        for k in range(5):
+            eng.submit(0, {"x": k / 10.0})
+        batch, _ = eng.drain()
+        assert [ce.seq for ce in batch] == [0, 1, 2, 3, 4]
+        assert all(isinstance(ce, CompletedEval) for ce in batch)
+        assert [ce.config["x"] for ce in batch] == [0.0, 0.1, 0.2, 0.3, 0.4]
+
+    def test_drain_with_nothing_inflight_is_empty(self):
+        eng = AsyncEvalEngine(_echo, SerialScheduler(), max_inflight=2)
+        assert eng.drain() == ([], 0.0)
+
+    def test_counters_and_peak(self):
+        sched = SimScheduler(lambda task, cfg: float(cfg["d"]))
+        eng = AsyncEvalEngine(_echo, sched, max_inflight=3)
+        eng.submit(0, {"d": 1.0})
+        eng.submit(1, {"d": 2.0})
+        eng.submit(0, {"d": 3.0})
+        assert eng.peak_inflight == 3 and eng.submitted == 3
+        batch, _ = eng.drain()  # only the d=1 evaluation lands
+        assert len(batch) == 1 and eng.completed == 1 and eng.inflight == 2
+        assert sorted(eng.inflight_tasks()) == [0, 1]
+
+    def test_pending_snapshot_tracks_remaining_eta(self):
+        sched = SimScheduler(lambda task, cfg: float(cfg["d"]))
+        eng = AsyncEvalEngine(_echo, sched, max_inflight=3)
+        eng.submit(0, {"d": 1.0})
+        eng.submit(1, {"d": 5.0})
+        eng.drain()  # advances virtual time to t=1
+        snap = eng.pending_snapshot()
+        assert len(snap) == 1
+        seq, task, cfg, eta = snap[0]
+        assert task == 1 and cfg == {"d": 5.0} and eta == pytest.approx(4.0)
+
+    def test_resubmitted_eta_overrides_duration(self):
+        # resume path: a checkpointed eta must win over duration(task, cfg)
+        sched = SimScheduler(lambda task, cfg: 100.0)
+        eng = AsyncEvalEngine(_echo, sched, max_inflight=2)
+        eng.submit(0, {"x": 0.5}, eta=2.0)
+        assert sched.remaining(0) == pytest.approx(2.0)
+
+
+class TestSchedulers:
+    def test_make_scheduler_types(self):
+        assert isinstance(make_scheduler("serial"), SerialScheduler)
+        assert isinstance(make_scheduler("thread", 2), ThreadScheduler)
+        assert isinstance(make_scheduler("process", 2), ProcessScheduler)
+
+    def test_make_scheduler_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_scheduler("quantum")
+
+    def test_wait_with_nothing_inflight_raises(self):
+        for sched in (SerialScheduler(), SimScheduler(lambda t, c: 1.0)):
+            with pytest.raises(RuntimeError):
+                sched.wait()
+
+    def test_serial_scheduler_wraps_failures(self):
+        def boom(payload):
+            raise RuntimeError("dead")
+
+        eng = AsyncEvalEngine(boom, SerialScheduler(), max_inflight=1)
+        with pytest.raises(WorkerError, match="evaluation 0 failed"):
+            eng.submit(0, {"x": 0.1})
+
+    def test_thread_scheduler_streams_stragglers(self):
+        import time as _time
+
+        def work(payload):
+            _time.sleep(payload[1]["d"])
+            return payload[0]
+
+        sched = ThreadScheduler(n_workers=3)
+        eng = AsyncEvalEngine(work, sched, max_inflight=3)
+        try:
+            eng.submit(0, {"d": 0.5})  # the straggler
+            eng.submit(1, {"d": 0.01})
+            eng.submit(2, {"d": 0.01})
+            fast, _ = eng.drain()
+            # both quick evaluations land while the straggler is in flight
+            assert {ce.task for ce in fast} <= {1, 2} and eng.inflight >= 1
+            while eng.inflight:
+                eng.drain()
+            assert eng.completed == 3
+        finally:
+            eng.shutdown()
+
+    def test_thread_scheduler_wraps_worker_exception(self):
+        def boom(payload):
+            raise ValueError("exploded")
+
+        sched = ThreadScheduler(n_workers=1)
+        eng = AsyncEvalEngine(boom, sched, max_inflight=1)
+        try:
+            eng.submit(0, {"x": 0.1})
+            with pytest.raises(WorkerError, match="evaluation 0 failed"):
+                eng.drain()
+        finally:
+            eng.shutdown()
+
+
+# -- process-pool worker death ------------------------------------------------
+
+
+def _die_once(payload):
+    """Kill the worker process on the first attempt, succeed on the second.
+
+    The marker file records that the first attempt happened, so the
+    resubmission (on the rebuilt pool) takes the surviving branch.
+    Module-level so it pickles into the process pool.
+    """
+    task, cfg = payload
+    marker = cfg["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(1)
+    return task * 10
+
+
+class TestProcessWorkerDeath:
+    def test_killed_worker_is_resubmitted(self, tmp_path):
+        events = []
+        sched = ProcessScheduler(
+            n_workers=2, on_event=lambda kind, detail: events.append(kind)
+        )
+        eng = AsyncEvalEngine(_die_once, sched, max_inflight=2)
+        try:
+            eng.submit(0, {"marker": str(tmp_path / "m0")})
+            eng.submit(1, {"marker": str(tmp_path / "m1")})
+            results = {}
+            while eng.inflight:
+                batch, _ = eng.drain()
+                results.update({ce.task: ce.outcome for ce in batch})
+            assert results == {0: 0, 1: 10}
+            assert "worker-death" in events
+        finally:
+            eng.shutdown()
+
+    def test_gives_up_after_max_restarts(self):
+        sched = ProcessScheduler(n_workers=1, max_pool_restarts=0)
+        eng = AsyncEvalEngine(_crash_forever, sched, max_inflight=1)
+        try:
+            eng.submit(0, {"x": 0.0})
+            with pytest.raises(WorkerError, match="worker died"):
+                eng.drain()
+        finally:
+            eng.shutdown()
+
+
+def _crash_forever(payload):
+    """A worker that always dies — exhausts the pool-restart budget."""
+    os._exit(1)
+
+
+# -- streaming campaigns under faults ----------------------------------------
+
+
+class _StragglerDuration:
+    """Virtual durations with one 50×-median straggler.
+
+    Every evaluation takes 2 virtual seconds except the first task-0
+    evaluation, which takes 100 (50× the median).
+    """
+
+    def __init__(self, straggler=100.0, base=2.0):
+        self.straggler = float(straggler)
+        self.base = float(base)
+        self.calls = 0
+
+    def __call__(self, task, cfg):
+        if task == 0:
+            self.calls += 1
+            if self.calls == 1:
+                return self.straggler
+        return self.base
+
+
+class TestStragglerCampaign:
+    BUDGET = 6
+
+    def _run(self, problem=None, duration=None, **kw):
+        clock = SimClock()
+        duration = duration if duration is not None else _StragglerDuration()
+        sched = SimScheduler(duration, clock=clock)
+        tuner = GPTune(problem or _problem(), _options(**kw), scheduler=sched)
+        return tuner.tune(TASKS, self.BUDGET), clock
+
+    def test_straggler_holds_one_slot_not_the_campaign(self):
+        res, clock = self._run()
+        for i in range(len(TASKS)):
+            assert res.data.n_samples(i) == self.BUDGET
+        _assert_no_duplicates(res)
+        # the straggler bounds the makespan: the campaign cannot finish
+        # before it lands, but everything else overlapped it.  Serial
+        # execution of the same work would take 100 + 2*(2*BUDGET-1) = 122;
+        # streaming finishes within a couple of rounds of the straggler.
+        n_evals = sum(res.data.n_samples(i) for i in range(len(TASKS)))
+        serial_makespan = 100.0 + 2.0 * (n_evals - 1)
+        assert 100.0 <= clock.now <= 110.0 < serial_makespan
+
+    def test_other_tasks_stream_past_the_straggler(self):
+        res, _clock = self._run()
+        # task 1 reaches its full budget strictly before the straggler
+        # lands: every absorb round is an async-drain event, and task-1
+        # completions keep arriving while the straggler is in flight
+        drains = res.events.of_kind("async-drain")
+        assert len(drains) >= 3  # streamed in many small rounds, no barrier
+        stop = res.events.of_kind("async-stop")[0]
+        assert stop.fields["completed"] == 2 * self.BUDGET
+
+    def test_max_inflight_never_exceeded(self):
+        res, _clock = self._run(max_inflight=3)
+        stop = res.events.of_kind("async-stop")[0]
+        assert 1 <= stop.fields["peak_inflight"] <= 3
+        # every drain observed the cap too
+        for ev in res.events.of_kind("async-drain"):
+            assert ev.fields["inflight"] <= 3
+
+    def test_straggler_dies_mid_eval(self):
+        # the straggler crashes instead of finishing: with failure_value it
+        # becomes a penalty observation and the campaign still completes
+        def obj(t, c):
+            if float(c["x"]) > 0.8:
+                raise RuntimeError("node died mid-evaluation")
+            return _objective(t, c)
+
+        problem = TuningProblem(
+            Space([Integer("t", 0, 10)]),
+            Space([Real("x", 0.0, 1.0)]),
+            obj,
+            failure_value=100.0,
+        )
+        res, _clock = self._run(problem=problem)
+        for i in range(len(TASKS)):
+            assert res.data.n_samples(i) == self.BUDGET
+        _assert_no_duplicates(res)
+        ys = [y[0] for i in range(len(TASKS)) for y in res.data.Y[i]]
+        assert all(np.isfinite(v) for v in ys)
+        best = min(res.best(i)[1] for i in range(len(TASKS)))
+        assert best < 100.0  # the tuner found real observations too
+
+    def test_retry_ladder_composes_with_queue(self):
+        # first attempt on every config fails; retry_attempts=2 makes the
+        # second succeed — inside the scheduler, through the same queue
+        attempts = {}
+
+        def obj(t, c):
+            key = (float(t["t"]), round(float(c["x"]), 9))
+            attempts[key] = attempts.get(key, 0) + 1
+            if attempts[key] == 1:
+                raise RuntimeError("transient fault")
+            return _objective(t, c)
+
+        problem = TuningProblem(
+            Space([Integer("t", 0, 10)]), Space([Real("x", 0.0, 1.0)]), obj
+        )
+        res, _clock = self._run(
+            problem=problem, retry_attempts=2, retry_backoff=0.0
+        )
+        for i in range(len(TASKS)):
+            assert res.data.n_samples(i) == self.BUDGET
+        assert res.stats["n_retries"] >= 2 * self.BUDGET  # one retry per eval
+        # per-attempt events surface in the campaign log via _record
+        assert len(res.events.of_kind("retry")) >= 2 * self.BUDGET
+        assert len(res.events.of_kind("exception")) >= 2 * self.BUDGET
+
+    def test_campaign_without_scheduler_injection(self):
+        # default path: make_scheduler builds from options.backend
+        res = GPTune(_problem(), _options(backend="serial")).tune(TASKS, 4)
+        for i in range(len(TASKS)):
+            assert res.data.n_samples(i) == 4
+        _assert_no_duplicates(res)
+        start = res.events.of_kind("async-start")[0]
+        assert start.fields["scheduler"] == "SerialScheduler"
+
+    def test_multiobjective_falls_back_to_lockstep(self):
+        problem = TuningProblem(
+            Space([Integer("t", 0, 10)]),
+            Space([Real("x", 0.0, 1.0)]),
+            lambda t, c: [c["x"], 1.0 - c["x"]],
+            n_objectives=2,
+        )
+        res = GPTune(problem, _options()).tune([{"t": 1}], 6)
+        assert len(res.events.of_kind("async-fallback")) == 1
+        assert len(res.events.of_kind("async-start")) == 0
+        assert res.data.n_samples(0) >= 6  # lockstep multi-objective batches

@@ -8,6 +8,13 @@ Two invariants guard the resilience subsystem:
 * a campaign killed at iteration k and resumed from its checkpoint produces
   exactly the evaluation set of an uninterrupted run (the checkpoint captures
   the seed-tree position, so resumed runs take identical decisions).
+
+The async streaming engine extends both to the queue (``TestAsyncDeterminism``,
+``TestAsyncKillResume``): under a deterministic scheduler the campaign is a
+pure function of the seed — shuffling completion order inside a drain batch
+changes nothing (the engine re-sorts by submission sequence), and a campaign
+killed mid-flight resumes bit-identically because the checkpoint carries the
+in-flight set with each evaluation's remaining virtual duration.
 """
 
 import os
@@ -17,6 +24,8 @@ import pytest
 
 from repro import cli
 from repro.core import GPTune, Integer, Options, Real, RunCheckpoint, Space, TuningProblem
+from repro.runtime.async_engine import SimScheduler
+from repro.runtime.simclock import SimClock
 
 
 def _objective(t, c):
@@ -115,6 +124,83 @@ class TestKillResume:
         )
         with pytest.raises(ValueError, match="checkpoint"):
             GPTune(other, _options()).resume(ck)
+
+
+def _duration(task, cfg):
+    """Deterministic heavy-ish virtual durations: longer for larger x/task."""
+    return 1.0 + 3.0 * float(cfg["x"]) + 2.0 * float(task)
+
+
+def _async_options(**kw):
+    base = dict(async_eval=True, max_inflight=3)
+    base.update(kw)
+    return _options(**base)
+
+
+def _async_run(shuffle_seed=None, **kw):
+    sched = SimScheduler(_duration, clock=SimClock(), shuffle_seed=shuffle_seed)
+    return GPTune(_problem(), _async_options(**kw), scheduler=sched).tune(TASKS, BUDGET)
+
+
+class TestAsyncDeterminism:
+    @pytest.fixture(scope="class")
+    def async_result(self):
+        return _async_run()
+
+    def test_async_is_reproducible(self, async_result):
+        _assert_same_data(async_result, _async_run())
+
+    def test_completion_order_shuffle_is_invisible(self, async_result):
+        """Shuffling each drain batch (a stand-in for OS completion races)
+        cannot change the campaign: the engine re-sorts by sequence id."""
+        _assert_same_data(async_result, _async_run(shuffle_seed=123))
+        _assert_same_data(async_result, _async_run(shuffle_seed=987654321))
+
+    def test_exact_budget_no_duplicates(self, async_result):
+        for i in range(len(TASKS)):
+            assert async_result.data.n_samples(i) == BUDGET
+            keys = [tuple(sorted(d.items())) for d in async_result.data.X[i]]
+            assert len(keys) == len(set(keys))
+
+
+class TestAsyncKillResume:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, k):
+        ref = _async_run()
+        path = str(tmp_path / "async.ck.json")
+        tuner = GPTune(
+            _problem(),
+            _async_options(checkpoint_path=path),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(k))
+        ck = RunCheckpoint.load(path)
+        assert ck.pending, "async checkpoint must carry the in-flight set"
+        assert all(e["eta"] is not None for e in ck.pending)
+
+        # the resumed campaign gets a *fresh* scheduler and clock: relative
+        # completion times survive via the checkpointed etas
+        fresh = GPTune(
+            _problem(),
+            _async_options(checkpoint_path=path),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        resumed = fresh.resume(path)
+        _assert_same_data(ref, resumed)
+        assert len(resumed.events.of_kind("resume")) == 1
+
+    def test_lockstep_resume_of_pending_checkpoint_rejected(self, tmp_path):
+        path = str(tmp_path / "async.ck.json")
+        tuner = GPTune(
+            _problem(),
+            _async_options(checkpoint_path=path),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(2))
+        with pytest.raises(ValueError, match="in-flight"):
+            GPTune(_problem(), _options()).resume(path)
 
 
 class TestCliResume:

@@ -8,6 +8,7 @@ from repro.core.kernels import gaussian_kernel, pairwise_sq_diffs
 from repro.core.metrics import pareto_mask, stability, win_task
 from repro.core.sampling import lhs_unit
 from repro.core.search.nsga2 import crowding_distance, fast_non_dominated_sort
+from repro.core.search.penalty import PenalizedAcquisition, local_penalty
 
 # -- strategies ----------------------------------------------------------
 
@@ -186,3 +187,75 @@ class TestSortingProperties:
         rng = np.random.default_rng(seed)
         d = crowding_distance(rng.random((n, 2)))
         assert np.all(d >= 0)
+
+
+# -- pending-point penalties (async search) -------------------------------
+
+
+@st.composite
+def penalty_cases(draw):
+    """Candidates, pending points, and a radius — all on the unit cube."""
+    dim = draw(st.integers(min_value=1, max_value=4))
+    point = st.lists(unit, min_size=dim, max_size=dim)
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=5))
+    X = np.array(draw(st.lists(point, min_size=n, max_size=n)))
+    P = np.array(draw(st.lists(point, min_size=m, max_size=m)))
+    r = draw(st.floats(min_value=0.01, max_value=0.9))
+    return X, P, r
+
+
+def _dist(X, P):
+    return np.sqrt(np.sum((X[:, None, :] - P[None, :, :]) ** 2, axis=2))
+
+
+class TestPendingPenaltyProperties:
+    """The four contract properties of the local pending-point penalty
+    (module docstring of :mod:`repro.core.search.penalty`)."""
+
+    @given(penalty_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_penalized_never_exceeds_unpenalized(self, case):
+        X, P, r = case
+        base = np.ones(X.shape[0]) * 2.5  # a positive acquisition value
+        acq = PenalizedAcquisition(lambda x: base.copy(), P, r)
+        assert np.all(acq(X) <= base + 1e-15)
+
+    @given(penalty_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_lower_within_radius(self, case):
+        X, P, r = case
+        d = _dist(X, P).min(axis=1)
+        inside = d <= 0.99 * r  # strictly inside, away from float ties at r
+        acq = PenalizedAcquisition(lambda x: np.ones(x.shape[0]), P, r)
+        vals = acq(X)
+        assert np.all(vals[inside] < 1.0)
+
+    @given(penalty_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_identical_beyond_radius(self, case):
+        X, P, r = case
+        d = _dist(X, P).min(axis=1)
+        outside = d >= 1.01 * r  # clearly beyond, away from float ties at r
+        base = np.full(X.shape[0], 3.7)
+        acq = PenalizedAcquisition(lambda x: base.copy(), P, r)
+        vals = acq(X)
+        assert np.array_equal(vals[outside], base[outside])
+
+    @given(penalty_cases(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_pending_order_invariance_is_bit_exact(self, case, seed):
+        X, P, r = case
+        perm = np.random.default_rng(seed).permutation(P.shape[0])
+        assert np.array_equal(
+            local_penalty(X, P, r), local_penalty(X, P[perm], r)
+        )
+
+    @given(penalty_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_infeasible_sentinels_pass_through(self, case):
+        X, P, r = case
+        # -inf (infeasible) must survive unscaled: -inf * 0 would be nan
+        acq = PenalizedAcquisition(lambda x: np.full(x.shape[0], -np.inf), P, r)
+        vals = acq(X)
+        assert np.all(np.isneginf(vals))

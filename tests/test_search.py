@@ -183,6 +183,23 @@ class TestNSGA2AskTell:
         with pytest.raises(RuntimeError):
             nsga.ask()  # initial fitness not told yet
 
+    def test_tell_without_pending_ask_names_task_and_generation(self):
+        """Protocol errors carry the label and generation, so a driver
+        interleaving many per-task optimizers can tell which one broke."""
+        nsga = NSGA2(dim=2, pop_size=8, generations=2, seed=0, label="task 3")
+        nsga.tell(self._objectives(nsga.initialize()))
+        nsga.tell(self._objectives(nsga.ask()))  # generation 1 completes
+        with pytest.raises(RuntimeError) as exc:
+            nsga.tell(np.zeros((8, 2)))  # no ask() pending
+        msg = str(exc.value)
+        assert "tell() without a pending ask()" in msg
+        assert "task 3" in msg and "generation 1" in msg
+
+    def test_tell_before_initialize_has_context(self):
+        nsga = NSGA2(dim=2, pop_size=8, generations=2, seed=0, label="task 7")
+        with pytest.raises(RuntimeError, match=r"task 7, generation 0"):
+            nsga.tell(np.zeros((8, 2)))
+
 
 class TestPickK:
     """MLA._pick_k: non-finite rows filter *before* the size check."""
