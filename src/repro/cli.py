@@ -41,6 +41,7 @@ import numpy as np
 from .apps import M3DC1, NIMROD, AnalyticalApp, HypreApp, PDGEQRF, PDSYEVX, SuperLUDIST
 from .core import GPTune, Options, surrogate_sensitivity
 from .core.metrics import mean_stability, win_task
+from .core.model import available_backends
 from .runtime import cori_haswell
 from .tuners import HpBandSterTuner, OpenTunerTuner, RandomSearchTuner, YtoptTuner
 
@@ -132,6 +133,9 @@ def _cmd_tune(args) -> int:
             backend=backend,
             async_eval=bool(args.async_eval),
             max_inflight=args.max_inflight,
+            model_backend=args.model_backend,
+            sparse_threshold=args.sparse_threshold,
+            n_inducing=args.n_inducing,
         )
     except ValueError as e:
         raise SystemExit(str(e))
@@ -350,6 +354,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--telemetry", metavar="PATH",
         help="record timestamped phase/model spans and stream every campaign "
              "event to this JSONL file (render it with 'repro report PATH')",
+    )
+    p_tune.add_argument(
+        "--model-backend", default="auto",
+        choices=("auto",) + available_backends(),
+        help="surrogate backend for the modeling phase: 'auto' escalates "
+             "from the exact LCM to the sparse inducing-point LCM past "
+             "--sparse-threshold observations (default: auto)",
+    )
+    p_tune.add_argument(
+        "--sparse-threshold", type=int, default=512, metavar="N",
+        help="observation count past which 'auto' switches to the sparse "
+             "backend (default: 512)",
+    )
+    p_tune.add_argument(
+        "--n-inducing", type=int, default=128, metavar="M",
+        help="inducing-set size of the sparse backend (default: 128)",
     )
     p_tune.add_argument(
         "--no-batched-search", action="store_true",

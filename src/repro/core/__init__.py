@@ -21,6 +21,15 @@ from ..runtime.resilience import (
     RunCheckpoint,
 )
 from .mla import GPTune, IndependentGPs, TuneResult
+from .model import (
+    BackendSpec,
+    PerTaskGP,
+    SparseLCM,
+    available_backends,
+    get_backend,
+    register_backend,
+    select_backend,
+)
 from .options import Options
 from .params import Categorical, Integer, Parameter, Real
 from .perfmodel import (
@@ -38,6 +47,7 @@ from .tla import TransferLearner
 from .validation import loo_diagnostics, loo_residuals
 
 __all__ = [
+    "BackendSpec",
     "Categorical",
     "CallableModel",
     "Constraint",
@@ -62,18 +72,24 @@ __all__ = [
     "BatchedParticleSwarm",
     "ParticleSwarm",
     "PerformanceModel",
+    "PerTaskGP",
     "RandomSampler",
     "Real",
     "RetryPolicy",
     "RunCheckpoint",
     "Space",
+    "SparseLCM",
     "TransferLearner",
     "TuneResult",
     "TuningData",
     "TuningProblem",
     "sobol_indices",
     "surrogate_sensitivity",
+    "available_backends",
     "dominates",
+    "get_backend",
+    "register_backend",
+    "select_backend",
     "expected_improvement",
     "hypervolume_2d",
     "lhs_unit",

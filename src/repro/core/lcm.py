@@ -156,6 +156,14 @@ class LCM:
         initialization, higher indices draw random ones.  Distributed-memory
         deployments give each rank a distinct offset so their single local
         restarts differ (Sec. 4.3 level-1 parallelism).
+    chol_ranks:
+        When set (> 1), the fitted posterior's covariance factorization runs
+        through the simulated distributed Cholesky
+        (:func:`~repro.runtime.distributed_linalg.distributed_cholesky`,
+        Sec. 4.3's ScaLAPACK level) on this many virtual MPI ranks.  The
+        factor is numerically identical to the serial one; the simulated
+        parallel wall time of the last factorization is exposed as
+        ``chol_makespan_``.
 
     Attributes
     ----------
@@ -177,9 +185,12 @@ class LCM:
         seed: Optional[int] = None,
         executor=None,
         restart_offset: int = 0,
+        chol_ranks: Optional[int] = None,
     ):
         if n_tasks < 1 or n_dims < 1:
             raise ValueError("need n_tasks >= 1 and n_dims >= 1")
+        if chol_ranks is not None and int(chol_ranks) < 1:
+            raise ValueError("need chol_ranks >= 1")
         Q = min(n_tasks, 3) if n_latent is None else int(n_latent)
         if Q < 1 or Q > n_tasks:
             raise ValueError(f"need 1 <= Q <= δ, got Q={Q}, δ={n_tasks}")
@@ -199,6 +210,8 @@ class LCM:
         self._alpha: Optional[np.ndarray] = None
         self.log_likelihood_: float = -np.inf
         self.jitter_used_: float = float(jitter)
+        self.chol_ranks = None if chol_ranks is None else int(chol_ranks)
+        self.chol_makespan_: float = 0.0
         # caches (never pickled; rebuilt on demand)
         self._tls = threading.local()
         self._same_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -221,7 +234,10 @@ class LCM:
         self.__dict__.update(state)
         self._tls = threading.local()
         # checkpoints written by older versions predate the batch cache
+        # and the distributed-Cholesky wiring
         self.__dict__.setdefault("_batch_cache", {})
+        self.__dict__.setdefault("chol_ranks", None)
+        self.__dict__.setdefault("chol_makespan_", 0.0)
 
     # -- covariance assembly ------------------------------------------------
     def _covariance(
@@ -541,11 +557,13 @@ class LCM:
         self.log_likelihood_ = -best_nll
         self._pred_cache = {}
         self._batch_cache = {}
-        if bestL is not None:
+        if bestL is not None and not (self.chol_ranks and self.chol_ranks > 1):
             # the winning restart's final evaluation already factorized Σ
             self._L, self._alpha = bestL, best_alpha
             self.jitter_used_ = self.jitter
         else:
+            # with chol_ranks the posterior factorization always goes
+            # through the distributed path so its parallel time is metered
             self._refactorize(sqd)
         return self
 
@@ -564,7 +582,7 @@ class LCM:
         while True:
             Sigma[di] = base + j
             try:
-                self._L = sla.cholesky(Sigma, lower=True)
+                self._L = self._posterior_chol(Sigma)
                 break
             except sla.LinAlgError:
                 j = max(j, 1e-10) * 10.0
@@ -572,6 +590,16 @@ class LCM:
                     raise
         self.jitter_used_ = j
         self._alpha = sla.cho_solve((self._L, True), self.y)
+
+    def _posterior_chol(self, Sigma: np.ndarray) -> np.ndarray:
+        """Factorize Σ serially, or on the simulated MPI ranks when configured."""
+        if self.chol_ranks and self.chol_ranks > 1:
+            from ..runtime.distributed_linalg import distributed_cholesky
+
+            L, makespan = distributed_cholesky(Sigma, self.chol_ranks)
+            self.chol_makespan_ = float(makespan)
+            return L
+        return sla.cholesky(Sigma, lower=True)
 
     def extend(
         self, Xnew: np.ndarray, ynew: np.ndarray, tidx_new: Sequence[int]

@@ -44,6 +44,7 @@ from .data import TuningData
 from .gp import GaussianProcess
 from .history import HistoryDB
 from .lcm import LCM
+from .model import SparseLCM, get_backend, select_backend
 from .options import Options
 from .perfmodel import ModelFeaturizer
 from .problem import TuningProblem
@@ -437,6 +438,7 @@ class GPTune:
         self._warm_gp_theta: Dict[Tuple[int, int], np.ndarray] = {}
         self._fit_iter = 0
         self._fp_state: Optional[Dict[str, Any]] = None
+        self._model_backend_last: Dict[int, str] = {}
         self._retry = RetryPolicy(
             max_attempts=self.options.retry_attempts,
             timeout=self.options.eval_timeout,
@@ -478,18 +480,20 @@ class GPTune:
     def _select_search_mode(self, models: Sequence[Any], featurizer) -> str:
         """Pick the search-phase execution path for this iteration.
 
-        ``"batched"`` — lockstep cross-task batching — needs a healthy LCM
-        for every objective (the cross-task posterior is an LCM property)
-        and no per-task performance-model enrichment (enriched inputs differ
-        per task, so candidate blocks cannot share kernels).  Otherwise the
-        per-task searches are dispatched over ``search_backend``
-        (``"executor"``) or run in the sequential reference loop.
+        ``"batched"`` — lockstep cross-task batching — needs a healthy
+        surrogate with a cross-task ``predict_tasks`` posterior for every
+        objective (the exact and sparse LCM backends have one; the per-task
+        GP rung does not) and no per-task performance-model enrichment
+        (enriched inputs differ per task, so candidate blocks cannot share
+        kernels).  Otherwise the per-task searches are dispatched over
+        ``search_backend`` (``"executor"``) or run in the sequential
+        reference loop.
         """
         if (
             self.options.search_batched
             and featurizer is None
             and len(models) > 0
-            and all(isinstance(m, LCM) for m in models)
+            and all(callable(getattr(m, "predict_tasks", None)) for m in models)
         ):
             return "batched"
         if self.options.search_backend != "serial":
@@ -506,6 +510,24 @@ class GPTune:
                 mode=mode,
                 algo=algo,
                 n_tasks=n_tasks,
+            )
+
+    def _note_model_backend(self, backend: str, objective: int, n_obs: int) -> None:
+        """Record a ``model-backend`` event when an objective's backend changes.
+
+        With ``model_backend="auto"`` this captures the escalation from the
+        exact to the sparse backend as the campaign's data crosses
+        ``sparse_threshold`` — the report surfaces which backends a
+        campaign actually used.
+        """
+        if self._model_backend_last.get(objective) != backend:
+            self._model_backend_last[objective] = backend
+            self.events.record(
+                "model-backend",
+                f"objective {objective}: {backend} at n={n_obs}",
+                backend=backend,
+                objective=objective,
+                n=n_obs,
             )
 
     def _evaluate(self, data: TuningData, task: int, cfg: Mapping[str, Any], stats) -> None:
@@ -691,6 +713,7 @@ class GPTune:
         self._fit_iter = 0
         self._fp_state = None
         self._search_mode_last = None
+        self._model_backend_last = {}
         stats = {
             "objective_time": 0.0,
             "objective_wall_time": 0.0,
@@ -1205,7 +1228,7 @@ class GPTune:
                 tr = _YTransform(self.options.y_transform)
                 yt = tr.fit(ys)
                 model = self._fit_surrogate(data, X, yt, tidx, executor, s, fingerprints)
-                if featurizer is None and isinstance(model, LCM):
+                if featurizer is None and isinstance(model, (LCM, SparseLCM)):
                     self._warm_state[s] = {
                         "model": model,
                         "transform": tr,
@@ -1268,24 +1291,38 @@ class GPTune:
     def _fit_surrogate(
         self, data: TuningData, X, yt, tidx, executor, objective: int, fingerprints=None
     ):
-        """Fit the LCM, degrading gracefully when the fit breaks down.
+        """Fit the selected surrogate backend, degrading gracefully on failure.
 
-        The ladder is LCM → independent per-task GPs → ``None`` (random
+        The backend comes from the registry
+        (:func:`repro.core.model.select_backend`): ``model_backend="auto"``
+        uses the exact LCM until the stacked observation count exceeds
+        ``sparse_threshold``, then escalates to the O(N·M²) sparse
+        inducing-point backend.  The ladder below the chosen backend is
+        unchanged: backend → independent per-task GPs → ``None`` (random
         search); each downgrade emits a ``"model-downgrade"`` event.  With
         ``options.model_fallback`` off, failures propagate as before.
 
-        When a surrogate cache holds a fit whose data is a subset/superset
-        of ours (``fingerprints``), its hyperparameters warm-start a single
+        For θ-carrying backends (exact and sparse LCM — the flat layout is
+        shared, so warm starts survive escalation): when a surrogate cache
+        holds a fit of the same backend whose data is a subset/superset of
+        ours (``fingerprints``), its hyperparameters warm-start a single
         L-BFGS run in place of the cold multi-start.  With
         ``options.refit_warm_start``, the previous MLA iteration's optimum
         (fresher than any cache entry) takes precedence and the start count
         drops to ``options.refit_warm_n_start``.  Every fit emits a
-        ``"model-fit"`` event recording how many multi-starts it spent.
+        ``"model-fit"`` event recording the backend and how many
+        multi-starts it spent.
         """
         n_latent = self.options.n_latent or min(data.n_tasks, 3)
+        backend = select_backend(
+            self.options.model_backend, X.shape[0], self.options.sparse_threshold
+        )
+        spec = get_backend(backend)
+        n_inducing = self.options.n_inducing if backend == "sparse-lcm" else 0
+        self._note_model_backend(backend, objective, int(X.shape[0]))
         n_start = self.options.n_start
         theta0 = None
-        if self.options.refit_warm_start:
+        if spec.supports_theta and self.options.refit_warm_start:
             st = self._warm_state.get(objective)
             prev = st["model"] if st is not None else None
             if (
@@ -1297,7 +1334,12 @@ class GPTune:
             ):
                 theta0 = np.asarray(prev.theta, dtype=float)
                 n_start = self.options.refit_warm_n_start
-        if theta0 is None and self.model_cache is not None and fingerprints:
+        if (
+            spec.supports_theta
+            and theta0 is None
+            and self.model_cache is not None
+            and fingerprints
+        ):
             cached = self.model_cache.lookup(
                 self.problem.name,
                 objective,
@@ -1305,6 +1347,8 @@ class GPTune:
                 n_tasks=data.n_tasks,
                 n_dims=X.shape[1],
                 n_latent=n_latent,
+                backend=backend,
+                n_inducing=n_inducing,
             )
             if cached is not None:
                 theta0 = np.asarray(cached.theta, dtype=float)
@@ -1315,18 +1359,17 @@ class GPTune:
                     f"({len(cached.fingerprints)} record(s) cached, "
                     f"{len(fingerprints)} current)",
                 )
-        lcm = LCM(
-            n_tasks=data.n_tasks,
-            n_dims=X.shape[1],
-            n_latent=n_latent,
-            jitter=self.options.jitter,
-            n_start=n_start,
-            maxiter=self.options.lbfgs_maxiter,
-            seed=self._child_seed(),
-            executor=executor,
+        model = spec.factory(
+            data.n_tasks,
+            X.shape[1],
+            n_latent,
+            n_start,
+            self._child_seed(),
+            executor,
+            self.options,
         )
         try:
-            lcm.fit(X, yt, tidx, theta0=theta0)
+            model.fit(X, yt, tidx, theta0=theta0)
         except Exception as e:
             if not self.options.model_fallback:
                 raise
@@ -1334,13 +1377,22 @@ class GPTune:
         else:
             # a "fit" whose every multi-start diverged (NLL stuck at the
             # Cholesky-failure sentinel) is as useless as a crashed one
-            if np.isfinite(lcm.log_likelihood_) and lcm.log_likelihood_ > -1e24:
+            ll = getattr(model, "log_likelihood_", 0.0)
+            if np.isfinite(ll) and ll > -1e24:
                 self.events.record(
                     "model-fit",
-                    f"objective {objective}: n_starts={n_start} n={X.shape[0]} "
-                    f"warm={theta0 is not None}",
+                    f"objective {objective}: backend={backend} n_starts={n_start} "
+                    f"n={X.shape[0]} warm={theta0 is not None}",
+                    backend=backend,
+                    n_starts=n_start,
+                    n=int(X.shape[0]),
                 )
-                if self.model_cache is not None and fingerprints:
+                if (
+                    spec.supports_theta
+                    and model.theta is not None
+                    and self.model_cache is not None
+                    and fingerprints
+                ):
                     from ..service.modelcache import CachedFit
 
                     key = self.model_cache.put(
@@ -1350,20 +1402,25 @@ class GPTune:
                             data.n_tasks,
                             X.shape[1],
                             n_latent,
-                            lcm.theta,
-                            lcm.log_likelihood_,
+                            model.theta,
+                            ll,
                             fingerprints,
+                            backend=backend,
+                            n_inducing=n_inducing,
                         )
                     )
                     self.events.record(
                         "model-cache-store", f"objective {objective}: {key[:12]}"
                     )
-                return lcm
+                return model
             if not self.options.model_fallback:
-                raise RuntimeError("LCM fit diverged and model_fallback is disabled")
+                raise RuntimeError(
+                    f"{backend} fit diverged and model_fallback is disabled"
+                )
             reason = "all multi-starts diverged"
         self.events.record(
-            "model-downgrade", f"objective {objective}: lcm -> per-task gp ({reason})"
+            "model-downgrade",
+            f"objective {objective}: {backend} -> per-task gp ({reason})",
         )
         try:
             gps: List[Optional[GaussianProcess]] = []

@@ -1,0 +1,100 @@
+"""Independent per-task GP backend.
+
+The MLA driver has always had a per-task :class:`~repro.core.gp.GaussianProcess`
+rung as the *degradation* target when the multitask fit breaks down
+(:class:`~repro.core.mla.IndependentGPs`).  :class:`PerTaskGP` makes the
+same surrogate a first-class, explicitly selectable backend
+(``Options(model_backend="gp")``): no task coupling, O(Σ nᵢ³) fit over
+much smaller per-task blocks, and the plain ``predict(task, Xstar)``
+interface.  It deliberately has no ``predict_tasks`` (nothing is shared
+across tasks to batch) and no flat ``theta`` (per-task hyperparameters are
+not transferable to the LCM layout), so the driver's capability checks
+route it to the sequential/executor search paths and skip the surrogate
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gp import GaussianProcess
+
+__all__ = ["PerTaskGP"]
+
+
+class PerTaskGP:
+    """One independent :class:`GaussianProcess` per task.
+
+    Per-task seeds derive deterministically from ``seed`` in task order, so
+    a campaign consumes exactly one driver seed per fit regardless of the
+    task count — the same contract the other backends honor.
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        n_dims: int,
+        jitter: float = 1e-8,
+        n_start: int = 3,
+        maxiter: int = 200,
+        seed: Optional[int] = None,
+    ):
+        if n_tasks < 1 or n_dims < 1:
+            raise ValueError("need n_tasks >= 1 and n_dims >= 1")
+        self.n_tasks = int(n_tasks)
+        self.n_dims = int(n_dims)
+        self.jitter = float(jitter)
+        self.n_start = int(n_start)
+        self.maxiter = int(maxiter)
+        self.seed = seed
+        self.gps: List[Optional[GaussianProcess]] = [None] * self.n_tasks
+        self.theta = None  # no shared flat θ — see module docstring
+        self.log_likelihood_: float = -np.inf
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task_index: Sequence[int],
+        theta0=None,
+    ) -> "PerTaskGP":
+        """Fit each observed task's GP; ``theta0`` is accepted and ignored."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        tidx = np.asarray(task_index, dtype=int).ravel()
+        if not (X.shape[0] == y.shape[0] == tidx.shape[0]):
+            raise ValueError("X, y and task_index row counts differ")
+        if X.shape[0] == 0:
+            raise ValueError("no observations")
+        if tidx.min() < 0 or tidx.max() >= self.n_tasks:
+            raise ValueError("task_index out of range")
+        rng = np.random.default_rng(self.seed)
+        seeds = rng.integers(2**31, size=self.n_tasks)
+        gps: List[Optional[GaussianProcess]] = []
+        ll = 0.0
+        for i in range(self.n_tasks):
+            rows = tidx == i
+            if not np.any(rows):
+                gps.append(None)
+                continue
+            gp = GaussianProcess(
+                jitter=self.jitter,
+                n_start=self.n_start,
+                maxiter=self.maxiter,
+                seed=int(seeds[i]),
+            )
+            gp.fit(X[rows], y[rows])
+            ll += float(gp.log_likelihood_)
+            gps.append(gp)
+        self.gps = gps
+        self.log_likelihood_ = ll
+        return self
+
+    def predict(self, task: int, Xstar: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance from the task's own GP."""
+        gp = self.gps[int(task)]
+        if gp is None:
+            raise RuntimeError(f"task {task} has no fitted surrogate")
+        return gp.predict(Xstar)

@@ -1,0 +1,106 @@
+"""Inducing-set selection for the sparse LCM backend.
+
+The sparse posterior's accuracy hinges on the inducing rows covering the
+observed configurations; its determinism contract (same seed → same
+campaign, kill-resume replays exactly) requires the selection to be a pure
+function of the data.  :func:`select_inducing` therefore uses **greedy
+max-min (farthest-point) selection** over the normalized configurations —
+no randomness, ties broken by the lowest index — stratified per task:
+
+* each task receives a quota proportional to its observation count
+  (largest-remainder rounding, every observed task gets at least one), so
+  no task's posterior degenerates to the prior because all inducing rows
+  landed elsewhere;
+* within a task, selection starts from the point closest to the task's
+  config centroid and repeatedly adds the point farthest (in Euclidean
+  distance on the unit cube) from the already-selected set — the classic
+  2-approximation of the k-center cover, which is exactly the property a
+  Nyström basis wants.
+
+The returned indices are sorted ascending, giving the inducing rows a
+canonical order independent of selection history.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["max_min_indices", "select_inducing"]
+
+
+def max_min_indices(X: np.ndarray, m: int) -> np.ndarray:
+    """Greedy farthest-point indices into ``X`` (``(N, β)``), ``m`` of them.
+
+    Deterministic: starts at the point nearest the centroid, ties always
+    resolve to the lowest index (``argmin``/``argmax`` on equal values).
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    n = X.shape[0]
+    m = int(m)
+    if m >= n:
+        return np.arange(n)
+    if m < 1:
+        raise ValueError("need m >= 1")
+    center = X.mean(axis=0)
+    first = int(np.argmin(np.einsum("ij,ij->i", X - center, X - center)))
+    chosen = [first]
+    mind = np.einsum("ij,ij->i", X - X[first], X - X[first])
+    for _ in range(m - 1):
+        nxt = int(np.argmax(mind))
+        chosen.append(nxt)
+        d = np.einsum("ij,ij->i", X - X[nxt], X - X[nxt])
+        np.minimum(mind, d, out=mind)
+    return np.asarray(sorted(chosen), dtype=int)
+
+
+def select_inducing(X: np.ndarray, task_index: Sequence[int], m: int) -> np.ndarray:
+    """Indices of ``m`` inducing rows from stacked samples ``(X, task_index)``.
+
+    Quotas are proportional to per-task counts with largest-remainder
+    rounding; every task with at least one observation keeps at least one
+    inducing row.  Within each task the rows come from
+    :func:`max_min_indices` on that task's configurations.  Returns sorted
+    global row indices.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    tidx = np.asarray(task_index, dtype=int).ravel()
+    n = X.shape[0]
+    if tidx.shape[0] != n:
+        raise ValueError("X and task_index row counts differ")
+    m = int(m)
+    if m >= n:
+        return np.arange(n)
+    if m < 1:
+        raise ValueError("need m >= 1")
+    tasks = np.unique(tidx)
+    counts = {int(t): int(np.sum(tidx == t)) for t in tasks}
+    if m < len(tasks):
+        # fewer slots than tasks: keep the largest tasks' single rows
+        tasks = sorted(counts, key=lambda t: (-counts[t], t))[:m]
+        quotas = {t: 1 for t in tasks}
+    else:
+        raw = {t: m * counts[t] / n for t in counts}
+        quotas = {t: max(1, int(raw[t])) for t in counts}
+        # largest-remainder: hand leftover slots to the biggest fractions,
+        # ties to the lower task id
+        while sum(quotas.values()) < m:
+            rem = sorted(
+                ((raw[t] - quotas[t], -t) for t in counts if quotas[t] < counts[t]),
+                reverse=True,
+            )
+            if not rem:
+                break
+            quotas[-rem[0][1]] += 1
+        while sum(quotas.values()) > m:
+            rem = sorted(
+                ((raw[t] - quotas[t], -t) for t in counts if quotas[t] > 1)
+            )
+            quotas[-rem[0][1]] -= 1
+    out = []
+    for t in sorted(quotas):
+        rows = np.nonzero(tidx == t)[0]
+        local = max_min_indices(X[rows], min(quotas[t], rows.shape[0]))
+        out.extend(int(rows[j]) for j in local)
+    return np.asarray(sorted(out), dtype=int)

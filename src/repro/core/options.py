@@ -132,6 +132,24 @@ class Options:
     checkpoint_every:
         Write the checkpoint every k-th iteration (the post-sampling snapshot
         is always written).
+    model_backend:
+        Surrogate backend for the modeling phase (see
+        :mod:`repro.core.model.registry`): ``"auto"`` (the default) uses
+        the exact LCM while the stacked observation count is at most
+        ``sparse_threshold`` and escalates to the sparse inducing-point
+        backend beyond it; ``"exact-lcm"``, ``"sparse-lcm"`` and ``"gp"``
+        force one backend.  Validated against the registry at construction.
+    sparse_threshold:
+        Observation count past which ``model_backend="auto"`` switches from
+        the exact O(N³) LCM to the O(N·M²) sparse backend.
+    n_inducing:
+        M — inducing-set size of the sparse backend (≥ 2).  Fits on
+        ``N ≤ M`` observations collapse to the exact subset fit.
+    chol_ranks:
+        When set (> 1), the exact backend's posterior factorization runs on
+        this many simulated MPI ranks via the distributed Cholesky
+        (Sec. 4.3's ScaLAPACK level); results are numerically identical,
+        and the simulated parallel time is exposed on the model.
     model_cache_path:
         When set, a :class:`~repro.service.modelcache.SurrogateCache` at this
         path is consulted before every modeling phase and fed after it: a
@@ -208,6 +226,10 @@ class Options:
     eval_timeout: Optional[float] = None
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
+    model_backend: str = "auto"
+    sparse_threshold: int = 512
+    n_inducing: int = 128
+    chol_ranks: Optional[int] = None
     model_cache_path: Optional[str] = None
     model_fallback: bool = True
     refit_warm_start: bool = False
@@ -221,6 +243,28 @@ class Options:
             raise ValueError("n_latent must be >= 1")
         if self.n_start < 1:
             raise ValueError("n_start must be >= 1")
+        if self.lbfgs_maxiter < 1:
+            raise ValueError("lbfgs_maxiter must be >= 1")
+        if self.ei_candidates < 1:
+            raise ValueError("ei_candidates must be >= 1")
+        if self.pso_iters < 1:
+            raise ValueError("pso_iters must be >= 1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.model_backend != "auto":
+            from .model.registry import available_backends
+
+            if self.model_backend not in available_backends():
+                known = ", ".join(("auto",) + available_backends())
+                raise ValueError(
+                    f"unknown model_backend {self.model_backend!r}; known: {known}"
+                )
+        if self.sparse_threshold < 1:
+            raise ValueError("sparse_threshold must be >= 1")
+        if self.n_inducing < 2:
+            raise ValueError("n_inducing must be >= 2")
+        if self.chol_ranks is not None and self.chol_ranks < 1:
+            raise ValueError("chol_ranks must be >= 1")
         if not 0.0 < self.initial_fraction < 1.0:
             raise ValueError("initial_fraction must be in (0, 1)")
         if self.y_transform not in ("standardize", "log", "none"):

@@ -172,6 +172,7 @@ _SUMMARY_KINDS = (
     "worker-death",
     "model-fit",
     "model-extend",
+    "model-backend",
     "model-downgrade",
     "model-cache-hit",
     "model-cache-store",
@@ -359,6 +360,14 @@ def render_campaign_report(log, tolerance: float = 0.05) -> Tuple[str, bool]:
     if modes:
         seen_modes = list(dict.fromkeys(modes))  # first-use order, deduped
         lines.append(f"{'search modes':>18}  {', '.join(seen_modes)}")
+    backends = [
+        str(ev.fields.get("backend") or ev.detail)
+        for ev in events
+        if ev.kind == "model-backend"
+    ]
+    if backends:
+        seen_backends = list(dict.fromkeys(backends))  # first-use order, deduped
+        lines.append(f"{'model backends':>18}  {', '.join(seen_backends)}")
     if len(lines) == 1:
         lines.append("(none)")
     sections.append("\n".join(lines))

@@ -49,6 +49,14 @@ class CachedFit:
         The fit's log marginal likelihood (diagnostic).
     fingerprints:
         Content fingerprints of the records the fit saw.
+    backend, n_inducing:
+        The surrogate backend that produced θ and (for the sparse backend)
+        its inducing-set size.  Both are part of the entry's identity and
+        the lookup filter: a sparse fit's θ is optimized against the
+        Nyström likelihood on M inducing rows and must never warm-start an
+        exact fit (or a sparse fit with a different M), and vice versa.
+        Rows written before this field existed load as
+        ``("exact-lcm", 0)`` — exactly what produced them.
     """
 
     def __init__(
@@ -61,6 +69,8 @@ class CachedFit:
         theta: Sequence[float],
         log_likelihood: float,
         fingerprints: Iterable[str],
+        backend: str = "exact-lcm",
+        n_inducing: int = 0,
     ):
         self.problem = str(problem)
         self.objective = int(objective)
@@ -70,13 +80,16 @@ class CachedFit:
         self.theta = [float(v) for v in theta]
         self.log_likelihood = float(log_likelihood)
         self.fingerprints: FrozenSet[str] = frozenset(str(f) for f in fingerprints)
+        self.backend = str(backend)
+        self.n_inducing = int(n_inducing)
 
     @property
     def key(self) -> str:
-        """Stable identity of this entry (shape + data fingerprint set)."""
+        """Stable identity of this entry (backend + shape + data fingerprints)."""
         h = hashlib.sha1()
         h.update(
-            f"{self.problem}|{self.objective}|{self.n_tasks}|{self.n_dims}|{self.n_latent}".encode()
+            f"{self.problem}|{self.objective}|{self.n_tasks}|{self.n_dims}"
+            f"|{self.n_latent}|{self.backend}|{self.n_inducing}".encode()
         )
         for fp in sorted(self.fingerprints):
             h.update(fp.encode("ascii"))
@@ -93,6 +106,8 @@ class CachedFit:
             "theta": self.theta,
             "log_likelihood": self.log_likelihood,
             "fingerprints": sorted(self.fingerprints),
+            "backend": self.backend,
+            "n_inducing": self.n_inducing,
         }
 
     @classmethod
@@ -106,6 +121,9 @@ class CachedFit:
             row["theta"],
             row["log_likelihood"],
             row["fingerprints"],
+            # rows from before the backend field were always exact fits
+            backend=row.get("backend", "exact-lcm"),
+            n_inducing=row.get("n_inducing", 0),
         )
 
 
@@ -187,13 +205,18 @@ class SurrogateCache:
         n_tasks: int,
         n_dims: int,
         n_latent: int,
+        backend: str = "exact-lcm",
+        n_inducing: int = 0,
     ) -> Optional[CachedFit]:
         """Best reusable fit for the given data, or ``None``.
 
-        A candidate must match the problem, objective, and LCM shape, and
-        its fingerprint set must be a subset or superset of the query's with
-        Jaccard overlap ≥ ``min_overlap``.  Among candidates the largest
-        overlap wins (ties: higher log likelihood).
+        A candidate must match the problem, objective, LCM shape, **and
+        surrogate backend** (including the sparse backend's inducing count
+        — θ optimized against a different likelihood is not a warm start,
+        it is a wrong start), and its fingerprint set must be a subset or
+        superset of the query's with Jaccard overlap ≥ ``min_overlap``.
+        Among candidates the largest overlap wins (ties: higher log
+        likelihood).
         """
         query = frozenset(str(f) for f in fingerprints)
         if not query:
@@ -208,6 +231,8 @@ class SurrogateCache:
                 or fit.n_tasks != int(n_tasks)
                 or fit.n_dims != int(n_dims)
                 or fit.n_latent != int(n_latent)
+                or fit.backend != str(backend)
+                or fit.n_inducing != int(n_inducing)
                 or not fit.fingerprints
             ):
                 continue

@@ -132,3 +132,104 @@ class TestFitPredict:
         _, var = m.predict(0, X[tidx == 0][:3])
         # small but not exactly zero because of the fitted noise d_i
         assert np.all(var < 0.5)
+
+
+class TestExtendDrift:
+    """Many incremental extends must not drift from a cold refactorization.
+
+    The async driver absorbs streaming results via :meth:`LCM.extend` for up
+    to ``refit_interval - 1`` rounds before the next full refit; block
+    Cholesky updates that accumulated error would silently corrupt every
+    acquisition decision in between.
+    """
+
+    def test_many_extends_match_cold_refactorize(self, rng):
+        n_total, n0 = 60, 12
+        X = rng.random((n_total, 2))
+        tidx = rng.integers(0, 3, size=n_total)
+        tidx[:3] = [0, 1, 2]  # every task observed in the seed block
+        y = (
+            np.sin(3 * X[:, 0])
+            + 0.4 * np.cos(2 * X[:, 1])
+            + 0.3 * tidx
+            + 0.05 * rng.normal(size=n_total)
+        )
+
+        def pinned(n):
+            """Model over X[:n] at a fixed θ with a healthy noise term.
+
+            The seed fit's θ interpolates its 12 points (d_i ≈ 0), which
+            makes the extended system ill-conditioned and would measure
+            jitter-escalation differences, not block-update drift.
+            """
+            m = LCM(3, 2, seed=0, n_start=1).fit(X[:n0], y[:n0], tidx[:n0])
+            ls, a, bw, dn = m.params.unpack(m.theta)
+            m.theta = m.params.pack(ls, a, bw, np.maximum(dn, 1e-2))
+            m.X, m.y, m.task_index = X[:n].copy(), y[:n].copy(), tidx[:n].copy()
+            m._pred_cache, m._batch_cache, m._same_cache = {}, {}, None
+            m._refactorize(pairwise_sq_diffs(m.X))
+            return m
+
+        inc = pinned(n0)
+        for i in range(n0, n_total):  # one observation at a time: worst case
+            inc.extend(X[i : i + 1], y[i : i + 1], tidx[i : i + 1])
+
+        cold = pinned(n_total)
+        assert np.array_equal(cold.theta, inc.theta)
+
+        # _refactorize does not refresh log_likelihood_; compute it from the
+        # cold factor for the comparison
+        cold_ll = -(
+            0.5 * float(cold.y @ cold._alpha)
+            + float(np.log(np.diag(cold._L)).sum())
+            + 0.5 * n_total * np.log(2 * np.pi)
+        )
+        assert inc.log_likelihood_ == pytest.approx(cold_ll, abs=1e-8)
+        Xs = rng.random((20, 2))
+        for t in range(3):
+            mu_i, var_i = inc.predict(t, Xs)
+            mu_c, var_c = cold.predict(t, Xs)
+            assert np.allclose(mu_i, mu_c, atol=1e-8)
+            assert np.allclose(var_i, var_c, atol=1e-8)
+
+    def test_batched_extend_matches_one_shot(self, rng):
+        """Extending in chunks equals extending everything at once."""
+        X = rng.random((40, 1))
+        tidx = np.array([0, 1] * 20)
+        y = np.sin(5 * X[:, 0]) + 0.2 * tidx
+
+        a = LCM(2, 1, seed=0, n_start=1).fit(X[:10], y[:10], tidx[:10])
+        b = LCM(2, 1, seed=0, n_start=1).fit(X[:10], y[:10], tidx[:10])
+        a.extend(X[10:], y[10:], tidx[10:])
+        for lo in range(10, 40, 5):
+            b.extend(X[lo : lo + 5], y[lo : lo + 5], tidx[lo : lo + 5])
+
+        Xs = rng.random((10, 1))
+        for t in range(2):
+            mu_a, var_a = a.predict(t, Xs)
+            mu_b, var_b = b.predict(t, Xs)
+            assert np.allclose(mu_a, mu_b, atol=1e-8)
+            assert np.allclose(var_a, var_b, atol=1e-8)
+
+
+class TestDistributedCholRouting:
+    """LCM(chol_ranks=p) routes factorization through the simulated
+    parallel Cholesky without changing the posterior."""
+
+    def test_matches_serial_posterior(self, toy_multitask_data, rng):
+        X, y, tidx = toy_multitask_data
+        serial = LCM(2, 1, seed=0, n_start=1).fit(X, y, tidx)
+        dist = LCM(2, 1, seed=0, n_start=1, chol_ranks=2).fit(X, y, tidx)
+        assert np.array_equal(serial.theta, dist.theta)
+        assert dist.chol_makespan_ > 0.0
+        assert serial.chol_makespan_ == 0.0  # never took the distributed path
+        Xs = rng.random((10, 1))
+        for t in range(2):
+            mu_s, var_s = serial.predict(t, Xs)
+            mu_d, var_d = dist.predict(t, Xs)
+            assert np.allclose(mu_s, mu_d, atol=1e-9)
+            assert np.allclose(var_s, var_d, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LCM(2, 1, chol_ranks=0)
