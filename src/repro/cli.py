@@ -34,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -298,6 +299,50 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    server_kwargs = {
+        "batch": not args.no_batch,
+        "flush_interval": args.flush_interval,
+        "flush_bytes": args.flush_bytes,
+        "max_pending": args.max_pending,
+        "max_inflight": args.max_inflight,
+    }
+    if args.shards == 1:
+        from .service import serve
+
+        serve(
+            args.root,
+            args.host,
+            args.port,
+            verbose=not args.quiet,
+            cache_bytes=args.cache_bytes,
+            **server_kwargs,
+        )
+        return 0
+
+    from .service import ShardSupervisor
+
+    server_kwargs["cache_bytes"] = args.cache_bytes
+    server_kwargs["verbose"] = not args.quiet
+    with ShardSupervisor(
+        args.root, args.shards, host=args.host, server_kwargs=server_kwargs
+    ) as sup:
+        topo_url = sup.serve_topology(port=args.port)
+        print(f"topology  {topo_url}/v1/topology")
+        for sid, url in sorted(sup.topology()["shards"].items()):
+            print(f"{sid:10s} {url}")
+        print(f"routing: RouterClient({topo_url!r})", flush=True)
+        sup.watch()
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -411,6 +456,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8577)
     p_serve.add_argument("--quiet", action="store_true", help="suppress request logging")
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="backend server processes behind a consistent-hash topology; "
+             "with N>1 the --port serves GET /v1/topology for RouterClient "
+             "bootstrap and each shard stores under <root>/shard-NN/",
+    )
+    p_serve.add_argument(
+        "--flush-interval", type=float, default=0.005,
+        help="group-commit window in seconds (0 flushes every submit)",
+    )
+    p_serve.add_argument(
+        "--flush-bytes", type=int, default=256 * 1024,
+        help="flush a shard's write queue early past this many queued bytes",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="queued-but-unflushed record bound before appends get 429",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="concurrently handled request bound before requests get 429",
+    )
+    p_serve.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="hot-shard read cache budget in bytes (0 disables)",
+    )
+    p_serve.add_argument(
+        "--no-batch", action="store_true",
+        help="disable write batching (one lock+fsync per append, seed path)",
+    )
 
     p_report = sub.add_parser(
         "report", help="phase-time breakdown from a --telemetry JSONL export"
@@ -447,10 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
     if args.command == "serve":
-        from .service import serve
-
-        serve(args.root, args.host, args.port, verbose=not args.quiet)
-        return 0
+        return _cmd_serve(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "query":

@@ -203,6 +203,32 @@ class MetricsRegistry:
                 raise ValueError(f"histogram {name!r} already registered with other buckets")
             return bounds
 
+    # -- point reads ---------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0.0 if never incremented).
+
+        Typed point reads keep tests and benchmark gates off string-matching
+        the Prometheus rendering.
+        """
+        k = _key(name, labels)
+        with self._lock:
+            return self._counters.get(k, 0.0)
+
+    def gauge_value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Current value of one gauge series (``default`` if never set)."""
+        k = _key(name, labels)
+        with self._lock:
+            return self._gauges.get(k, default)
+
+    def histogram_stats(self, name: str, **labels: Any) -> Dict[str, float]:
+        """One histogram series' ``{"count", "sum"}`` (zeros if empty)."""
+        k = _key(name, labels)
+        with self._lock:
+            series = self._hists.get(k)
+            if series is None:
+                return {"count": 0.0, "sum": 0.0}
+            return {"count": series[-2], "sum": series[-1]}
+
     # -- snapshot / merge ----------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able copy of every series (the merge/export interchange form)."""

@@ -2,34 +2,53 @@
 
 The production layer of GPTune's "archive and reuse" goal (Sec. 1, goal 3):
 a sharded append-only record store safe for concurrent campaigns
-(:mod:`~repro.service.store`), a cache of fitted surrogate hyperparameters
+(:mod:`~repro.service.store`) with an etag-keyed hot-shard read cache, a
+group-commit write batcher with bounded-queue backpressure
+(:mod:`~repro.service.batch`), a cache of fitted surrogate hyperparameters
 (:mod:`~repro.service.modelcache`), nearest-task queries feeding transfer
-learning (:mod:`~repro.service.query`), and a stdlib HTTP server/client pair
+learning (:mod:`~repro.service.query`), a stdlib HTTP server/client pair
 for crowd tuning across machines (:mod:`~repro.service.server`,
-:mod:`~repro.service.client`).  See ``docs/SERVICE.md``.
+:mod:`~repro.service.client`), and consistent-hash routing over N server
+processes (:mod:`~repro.service.router`).  See ``docs/SERVICE.md``.
 """
 
+from .batch import BackpressureError, WriteBatcher
 from .client import ServiceClient, ServiceError, StaleEtagError
 from .modelcache import CachedFit, SurrogateCache
 from .query import archive_source, group_by_task, nearest_tasks, source_data_from_records
+from .router import HashRing, RouterClient, ShardSupervisor, rebalance_stores, shard_id
 from .server import TuningHistoryServer, make_server, serve
-from .store import ShardedStore, ShardLock, canonical_payload, content_fingerprint
+from .store import (
+    ShardLock,
+    ShardReadCache,
+    ShardedStore,
+    canonical_payload,
+    content_fingerprint,
+)
 
 __all__ = [
+    "BackpressureError",
     "CachedFit",
+    "HashRing",
+    "RouterClient",
     "ServiceClient",
     "ServiceError",
     "ShardLock",
+    "ShardReadCache",
+    "ShardSupervisor",
     "ShardedStore",
     "StaleEtagError",
     "SurrogateCache",
     "TuningHistoryServer",
+    "WriteBatcher",
     "archive_source",
     "canonical_payload",
     "content_fingerprint",
     "group_by_task",
     "make_server",
     "nearest_tasks",
+    "rebalance_stores",
     "serve",
+    "shard_id",
     "source_data_from_records",
 ]

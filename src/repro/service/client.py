@@ -1,4 +1,4 @@
-"""HTTP client for the tuning-history service (stdlib ``urllib`` only).
+"""HTTP client for the tuning-history service (stdlib ``http.client`` only).
 
 :class:`ServiceClient` speaks the wire format of
 :mod:`repro.service.server` and deliberately duck-types the
@@ -10,30 +10,62 @@ database by passing a client wherever a history archive is accepted::
     client = ServiceClient("http://tuner-hub:8577")
     GPTune(problem, options, history=client).tune(tasks, n_samples=20)
 
+**Connection reuse.**  The client keeps a small thread-safe pool of
+persistent keep-alive :class:`http.client.HTTPConnection` objects instead
+of opening a fresh TCP connection per request — under crowd-tuning load
+the TCP+slow-start handshake per request costs more than the request
+itself.  A connection that the server closed (restart, idle timeout) is
+discarded; **idempotent GETs** are then retried on a fresh connection with
+the deterministic backoff of the shared
+:class:`~repro.runtime.resilience.RetryPolicy`.  Non-idempotent POSTs are
+never retried implicitly — the router layer retries appends only after
+assigning client-side rids, which makes them exactly-once.
+
 Appends are plain by default (the server's shard locks serialize
 concurrent writers without loss).  For read-modify-write flows,
 :meth:`append` accepts the etag from a previous read as ``if_match`` and
 raises :class:`StaleEtagError` when the shard moved underneath — the
-optimistic-concurrency loop is then: re-read, reconcile, retry.
+optimistic-concurrency loop is then: re-read, reconcile, retry.  A
+saturated server (``429 Too Many Requests``) surfaces as a
+:class:`ServiceError` whose ``retry_after`` carries the server's backoff
+hint.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
+import socket
+import threading
+import time
 import urllib.parse
-import urllib.request
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..runtime.resilience import RetryPolicy
 
 __all__ = ["ServiceClient", "ServiceError", "StaleEtagError"]
 
+#: Errors that mean "this pooled connection is dead, not the request" —
+#: safe to retry an idempotent request on a fresh connection.
+_RETRYABLE = (
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    OSError,
+)
+
 
 class ServiceError(RuntimeError):
-    """The service answered with an error status."""
+    """The service answered with an error status.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` is the server's backoff hint in seconds (0 unless the
+    response was ``429 Too Many Requests`` with a hint).
+    """
+
+    def __init__(self, status: int, message: str, retry_after: float = 0.0):
         super().__init__(f"HTTP {status}: {message}")
         self.status = int(status)
+        self.retry_after = float(retry_after)
 
 
 class StaleEtagError(ServiceError):
@@ -42,6 +74,40 @@ class StaleEtagError(ServiceError):
     def __init__(self, message: str, etag: Optional[str]):
         super().__init__(412, message)
         self.etag = etag
+
+
+class _ConnectionPool:
+    """Thread-safe pool of keep-alive connections to one host:port."""
+
+    def __init__(self, host: str, port: int, timeout: float, size: int = 8):
+        self.host, self.port, self.timeout = host, int(port), float(timeout)
+        self.size = int(size)
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self.created = 0  # total connections ever opened (reuse diagnostic)
+
+    def get(self) -> http.client.HTTPConnection:
+        """An idle pooled connection, or a fresh one."""
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+            self.created += 1
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def put(self, conn: http.client.HTTPConnection) -> None:
+        """Return a healthy connection for reuse (closed if pool is full)."""
+        with self._lock:
+            if len(self._idle) < self.size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
 
 
 class ServiceClient:
@@ -53,47 +119,90 @@ class ServiceClient:
         Service root, e.g. ``"http://127.0.0.1:8577"``.
     timeout:
         Per-request socket timeout in seconds.
+    retry:
+        :class:`~repro.runtime.resilience.RetryPolicy` for idempotent GETs
+        hitting a dead pooled connection (default: 3 attempts, 50 ms
+        deterministic backoff).  ``RetryPolicy(max_attempts=1)`` disables.
+    pool_size:
+        Keep-alive connections retained per client.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        pool_size: int = 8,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, backoff=0.05, backoff_factor=2.0, seed=0
+        )
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r} (http only)")
+        if not split.hostname:
+            raise ValueError(f"no host in {base_url!r}")
+        self._prefix = split.path.rstrip("/")
+        self._pool = _ConnectionPool(
+            split.hostname, split.port or 80, self.timeout, size=pool_size
+        )
+
+    def close(self) -> None:
+        """Close pooled keep-alive connections (the client stays usable)."""
+        self._pool.close()
 
     # -- wire plumbing -------------------------------------------------------
     def _url(self, verb: str, problem: Optional[str] = None) -> str:
-        url = f"{self.base_url}/v1/{verb}"
+        path = f"{self._prefix}/v1/{verb}"
         if problem is not None:
-            url += "/" + urllib.parse.quote(problem, safe="")
-        return url
+            path += "/" + urllib.parse.quote(problem, safe="")
+        return path
 
     def _request(
         self,
         method: str,
-        url: str,
+        path: str,
         body: Optional[Mapping[str, Any]] = None,
         headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path.startswith("http://") or path.startswith("https://"):
+            path = urllib.parse.urlsplit(path).path  # tolerate full URLs
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        req = urllib.request.Request(url, data=data, method=method)
-        req.add_header("Accept", "application/json")
+        hdrs = {"Accept": "application/json"}
         if data is not None:
-            req.add_header("Content-Type", "application/json")
-        for k, v in (headers or {}).items():
-            req.add_header(k, v)
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            hdrs["Content-Type"] = "application/json"
+        hdrs.update(headers or {})
+        attempts = self.retry.max_attempts if method == "GET" else 1
+        for attempt in range(1, attempts + 1):
+            conn = self._pool.get()
+            try:
+                conn.request(method, path, body=data, headers=hdrs)
+                resp = conn.getresponse()
                 raw = resp.read()
                 status = resp.status
-                hdrs = {k.lower(): v for k, v in resp.headers.items()}
-        except urllib.error.HTTPError as e:
-            raw = e.read()
-            status = e.code
-            hdrs = {k.lower(): v for k, v in (e.headers or {}).items()}
-        try:
-            payload = json.loads(raw.decode("utf-8")) if raw else {}
-        except ValueError:
-            payload = {"error": raw.decode("utf-8", "replace")}
-        return status, payload, hdrs
+                resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            except _RETRYABLE:
+                # the pooled connection died under us (server restart, idle
+                # close); never reuse it, and retry only idempotent GETs
+                conn.close()
+                if attempt >= attempts:
+                    raise
+                time.sleep(self.retry.delay(attempt))
+                continue
+            if resp.will_close:
+                conn.close()
+            else:
+                self._pool.put(conn)
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if not isinstance(payload, dict):
+                payload = {"error": repr(payload)}
+            return status, payload, resp_headers
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _check(status: int, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -102,14 +211,18 @@ class ServiceClient:
                 payload.get("error", "etag mismatch"), payload.get("etag")
             )
         if status >= 400:
-            raise ServiceError(status, payload.get("error", "request failed"))
+            raise ServiceError(
+                status,
+                payload.get("error", "request failed"),
+                retry_after=float(payload.get("retry_after", 0.0) or 0.0),
+            )
         return payload
 
     # -- archive interface (HistoryDB-compatible) ---------------------------
     def problems(self) -> List[str]:
         """Archived problem names."""
-        _, payload, _ = self._request("GET", self._url("problems"))
-        return list(self._check(200, payload)["problems"])
+        status, payload, _ = self._request("GET", self._url("problems"))
+        return list(self._check(status, payload)["problems"])
 
     def records(self, problem: str, etag: Optional[str] = None) -> List[Dict[str, Any]]:
         """All records of one problem (with rids, so re-pushes deduplicate).

@@ -150,6 +150,9 @@ class SurrogateCache:
         os.makedirs(parent, exist_ok=True)
         self._entries: Dict[str, CachedFit] = {}
         self._loaded_size = -1
+        # memoized lookup results: query tuple -> best entry key (or None);
+        # valid only for the currently loaded file version
+        self._lookup_memo: Dict[Any, Optional[str]] = {}
 
     def _lock(self) -> ShardLock:
         return ShardLock(self.path + ".lock")
@@ -172,6 +175,7 @@ class SurrogateCache:
                     entries[fit.key] = fit  # later lines win
         self._entries = entries
         self._loaded_size = size
+        self._lookup_memo.clear()  # memo keys are per file version
 
     # -- public API ----------------------------------------------------------
     def __len__(self) -> int:
@@ -195,6 +199,7 @@ class SurrogateCache:
                 os.fsync(fh.fileno())
             self._entries[fit.key] = fit
             self._loaded_size = os.path.getsize(self.path)
+            self._lookup_memo.clear()
         return fit.key
 
     def lookup(
@@ -217,11 +222,23 @@ class SurrogateCache:
         superset of the query's with Jaccard overlap ≥ ``min_overlap``.
         Among candidates the largest overlap wins (ties: higher log
         likelihood).
+
+        Repeated lookups are memoized per loaded file version: a driver
+        polling the cache every refit with the same (slowly growing) data
+        pays the linear scan once, not once per iteration.  Any reload,
+        :meth:`put`, or :meth:`compact` invalidates the memo.
         """
         query = frozenset(str(f) for f in fingerprints)
         if not query:
             return None
         self._load()
+        memo_key = (
+            str(problem), int(objective), query, int(n_tasks), int(n_dims),
+            int(n_latent), str(backend), int(n_inducing),
+        )
+        if memo_key in self._lookup_memo:
+            hit = self._lookup_memo[memo_key]
+            return self._entries.get(hit) if hit is not None else None
         best: Optional[CachedFit] = None
         best_rank = (-1.0, -float("inf"))
         for fit in self._entries.values():
@@ -244,6 +261,9 @@ class SurrogateCache:
             rank = (overlap, fit.log_likelihood)
             if rank > best_rank:
                 best, best_rank = fit, rank
+        if len(self._lookup_memo) >= 512:  # bound a long campaign's memo
+            self._lookup_memo.clear()
+        self._lookup_memo[memo_key] = best.key if best is not None else None
         return best
 
     def compact(self, keep_latest: int = 64) -> int:
@@ -273,4 +293,5 @@ class SurrogateCache:
             os.replace(tmp, self.path)
             self._entries = {f.key: f for f in kept}
             self._loaded_size = os.path.getsize(self.path)
+            self._lookup_memo.clear()
         return len(kept)

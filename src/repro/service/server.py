@@ -25,6 +25,22 @@ Every request is counted into ``repro_http_requests_total{method, endpoint,
 status}`` and timed into the ``repro_http_request_seconds`` histogram, so a
 Prometheus scrape of ``/metrics`` sees per-endpoint traffic and latency.
 
+**Write path.**  Plain appends go through a
+:class:`~repro.service.batch.WriteBatcher` group commit: many concurrent
+POSTs to one shard share a single lock-acquire + write + fsync instead of
+paying one each.  Optimistic (``If-Match``) appends bypass batching — their
+etag check must be atomic with their write — via the batcher's per-shard
+``exclusive()`` section.  Reads are served from the store's etag-keyed
+:class:`~repro.service.store.ShardReadCache`, so repeat ``records``/
+``query`` traffic against a hot shard stops re-parsing JSONL.
+
+**Backpressure.**  Both queues are bounded: when more than ``max_inflight``
+requests are being handled, or the batcher's pending-write queue is full,
+the server answers ``429 Too Many Requests`` with a ``Retry-After`` header
+instead of letting latency grow without bound.  Saturation is visible in
+the ``repro_service_requests_inflight`` / ``repro_service_write_queue_depth``
+gauges and the ``repro_http_requests_total{status="429"}`` counter.
+
 Every record response carries the shard's **ETag** — the content-defined
 version token of :meth:`~repro.service.store.ShardedStore.etag`.  A client
 that wants optimistic concurrency sends it back as ``If-Match`` on append:
@@ -43,6 +59,7 @@ appending directly.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -50,8 +67,9 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import unquote
 
 from ..observability import MetricsRegistry
+from .batch import BackpressureError, WriteBatcher
 from .query import nearest_tasks
-from .store import ShardedStore
+from .store import ShardReadCache, ShardedStore
 
 __all__ = ["TuningHistoryServer", "make_server", "serve"]
 
@@ -73,19 +91,39 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # type: ignore[attr-defined]
             super().log_message(fmt, *args)
 
-    def _reply(self, status: int, payload: Dict[str, Any], etag: Optional[str] = None) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        etag: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._last_status = status
-        body = json.dumps(payload).encode("utf-8")
+        # 304 must carry no body (RFC 9110 §15.4.5): clients do not read one,
+        # so stray bytes would poison the next request on a keep-alive
+        # connection
+        body = b"" if status == 304 else json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if etag is not None:
             self.send_header("ETag", f'"{etag}"')
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
         self.end_headers()
-        self.wfile.write(body)
+        if body:
+            self.wfile.write(body)
 
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": message})
+
+    def _saturated(self, what: str, retry_after: float) -> None:
+        """Answer 429 with an explicit client backoff hint."""
+        self._reply(
+            429,
+            {"error": f"{what} saturated, retry later", "retry_after": retry_after},
+            headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+        )
 
     def _body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -117,13 +155,25 @@ class _Handler(BaseHTTPRequestHandler):
         return verb or "unknown"
 
     def _timed(self, method: str, handler: Callable[[], None]) -> None:
-        """Run one request handler, recording count and latency metrics."""
+        """Run one request handler, recording count and latency metrics.
+
+        Bounded concurrency: past ``max_inflight`` simultaneously handled
+        requests the handler is not even entered — the client gets ``429``
+        + ``Retry-After`` immediately.  ``/metrics`` is exempt, so
+        observability survives saturation.
+        """
         self._last_status = 0
+        metrics = self.server.metrics  # type: ignore[attr-defined]
         t0 = time.perf_counter()
+        admitted = self._endpoint() == "metrics" or self.server.admit()  # type: ignore[attr-defined]
         try:
-            handler()
+            if admitted:
+                handler()
+            else:
+                self._saturated("server", self.server.retry_after)  # type: ignore[attr-defined]
         finally:
-            metrics = self.server.metrics  # type: ignore[attr-defined]
+            if admitted and self._endpoint() != "metrics":
+                self.server.release()  # type: ignore[attr-defined]
             labels = {"method": method, "endpoint": self._endpoint()}
             metrics.inc(
                 "repro_http_requests_total", status=str(self._last_status), **labels
@@ -160,14 +210,15 @@ class _Handler(BaseHTTPRequestHandler):
         elif verb == "problems" and problem is None:
             self._reply(200, {"problems": self.store.problems()})
         elif verb == "records" and problem:
-            etag = self.store.etag(problem)
+            # snapshot() pairs the rows with the etag of exactly those rows,
+            # so a read racing appends/compaction never sees a torn view
+            rows, etag = self.store.snapshot(problem)
             if self._header_etag(self.headers.get("If-None-Match")) == etag:
                 self._reply(304, {}, etag=etag)
                 return
             self._reply(
                 200,
-                {"problem": problem, "records": self.store.records(problem, with_rid=True),
-                 "etag": etag},
+                {"problem": problem, "records": rows, "etag": etag},
                 etag=etag,
             )
         else:
@@ -195,9 +246,29 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, 'body must be {"records": [...]}')
             return
         expected = self._header_etag(self.headers.get("If-Match"))
-        with self.server.append_mutex:  # type: ignore[attr-defined]
-            # the etag check and the append must be one unit, or two racing
-            # optimistic writers could both pass the check
+        batcher: Optional[WriteBatcher] = self.server.batcher  # type: ignore[attr-defined]
+        if expected is None and batcher is not None:
+            # plain append: ride the group commit (ack after its fsync)
+            try:
+                rids, etag = batcher.submit(problem, records)
+            except BackpressureError as e:
+                self._saturated("write queue", e.retry_after)
+                return
+            except (ValueError, TypeError) as e:
+                self._error(400, f"bad record: {e}")
+                return
+            self._reply(
+                200, {"appended": len(rids), "rids": rids, "etag": etag}, etag=etag
+            )
+            return
+        # optimistic append (or batching disabled): the etag check and the
+        # append must be one unit, or two racing writers both pass the check
+        ctx = (
+            batcher.exclusive(problem)
+            if batcher is not None
+            else self.server.append_mutex  # type: ignore[attr-defined]
+        )
+        with ctx:
             if expected is not None:
                 current = self.store.etag(problem)
                 if current != expected:
@@ -222,8 +293,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, 'body must be {"task": {...}, "k": N}')
             return
         k = payload.get("k")
-        records = self.store.records(problem, with_rid=True)
-        near = nearest_tasks(records, task, k=int(k) if k is not None else None)
+        rows, etag = self.store.snapshot(problem)
+        near = nearest_tasks(rows, task, k=int(k) if k is not None else None)
         self._reply(
             200,
             {
@@ -231,7 +302,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "matches": [
                     {"task": t, "distance": d, "records": recs} for t, recs, d in near
                 ],
-                "etag": self.store.etag(problem),
+                "etag": etag,
             },
         )
 
@@ -242,21 +313,86 @@ class TuningHistoryServer(ThreadingHTTPServer):
     Carries a :class:`~repro.observability.MetricsRegistry` fed by the
     request handlers and exposed at ``GET /metrics`` in Prometheus text
     format — the registry is thread-safe, matching the threading server.
+
+    Parameters
+    ----------
+    address, store, verbose:
+        As before; ``store.cache`` (when attached) is wired into the
+        server's metrics registry.
+    batch:
+        Group-commit plain appends through a :class:`WriteBatcher`
+        (``False`` restores the seed one-fsync-per-request path — the
+        baseline ``benchmarks/bench_service.py`` measures against).
+    flush_interval, flush_bytes, max_pending:
+        Batcher knobs (see :class:`~repro.service.batch.WriteBatcher`).
+    max_inflight:
+        Bound on concurrently handled requests before new ones get ``429``.
     """
 
     daemon_threads = True
+    #: listen backlog; socketserver's default of 5 drops SYNs under a
+    #: connection burst and the kernel's ~1 s retransmit wrecks tail latency
+    request_queue_size = 128
 
     def __init__(
         self,
         address: Tuple[str, int],
         store: ShardedStore,
         verbose: bool = False,
+        batch: bool = True,
+        flush_interval: float = 0.005,
+        flush_bytes: int = 256 * 1024,
+        max_pending: int = 4096,
+        max_inflight: int = 64,
     ):
         super().__init__(address, _Handler)
         self.store = store
         self.verbose = verbose
         self.append_mutex = threading.Lock()
         self.metrics = MetricsRegistry()
+        if store.cache is not None and store.cache.metrics is None:
+            store.cache.metrics = self.metrics
+        self.max_inflight = int(max_inflight)
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.retry_after = 0.05
+        self.batcher: Optional[WriteBatcher] = (
+            WriteBatcher(
+                store,
+                flush_interval=flush_interval,
+                flush_bytes=flush_bytes,
+                max_pending=max_pending,
+                metrics=self.metrics,
+            )
+            if batch
+            else None
+        )
+
+    # -- request admission ---------------------------------------------------
+    def admit(self) -> bool:
+        """Reserve one in-flight request slot; ``False`` when saturated."""
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            depth = self._inflight
+        self.metrics.set_gauge("repro_service_requests_inflight", float(depth))
+        return True
+
+    def release(self) -> None:
+        """Return one in-flight request slot."""
+        with self._inflight_lock:
+            self._inflight -= 1
+            depth = self._inflight
+        self.metrics.set_gauge("repro_service_requests_inflight", float(depth))
+
+    def server_close(self) -> None:
+        """Flush pending batched writes, then close the listening socket."""
+        if self.batcher is not None:
+            self.batcher.close()
+        super().server_close()
 
 
 def make_server(
@@ -265,15 +401,21 @@ def make_server(
     port: int = 0,
     on_event: Optional[Callable[[str, str], Any]] = None,
     verbose: bool = False,
+    cache_bytes: int = 64 * 1024 * 1024,
+    **server_kwargs: Any,
 ) -> TuningHistoryServer:
     """Build a service over the store at ``root`` (``port=0`` = ephemeral).
 
     The caller drives the returned server (``serve_forever`` /
     ``handle_request`` / ``shutdown``); its bound port is
-    ``server.server_address[1]``.
+    ``server.server_address[1]``.  ``cache_bytes=0`` disables the read
+    cache; remaining keyword arguments (``batch``, ``flush_interval``,
+    ``flush_bytes``, ``max_pending``, ``max_inflight``) reach
+    :class:`TuningHistoryServer`.
     """
-    store = ShardedStore(root, on_event=on_event)
-    return TuningHistoryServer((host, port), store, verbose=verbose)
+    cache = ShardReadCache(cache_bytes) if cache_bytes else None
+    store = ShardedStore(root, on_event=on_event, cache=cache)
+    return TuningHistoryServer((host, port), store, verbose=verbose, **server_kwargs)
 
 
 def serve(
@@ -281,9 +423,10 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8577,
     verbose: bool = True,
+    **kwargs: Any,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI tests
     """Run the service until interrupted (the ``repro serve`` verb)."""
-    server = make_server(root, host, port, verbose=verbose)
+    server = make_server(root, host, port, verbose=verbose, **kwargs)
     bound = server.server_address
     print(f"tuning-history service on http://{bound[0]}:{bound[1]} (store: {root})")
     try:

@@ -37,11 +37,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 import uuid
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-__all__ = ["ShardedStore", "ShardLock", "content_fingerprint", "canonical_payload"]
+__all__ = [
+    "ShardedStore",
+    "ShardLock",
+    "ShardReadCache",
+    "content_fingerprint",
+    "canonical_payload",
+]
 
 try:  # POSIX advisory locking; Windows lacks fcntl
     import fcntl
@@ -94,6 +102,33 @@ def content_fingerprint(record: Mapping[str, Any]) -> str:
     return hashlib.sha1(canonical_payload(record).encode("utf-8")).hexdigest()
 
 
+def _etag_of(rids) -> str:
+    """Content-defined shard version: hash of the (deduplicated) rid set."""
+    unique = sorted(set(rids))
+    if not unique:
+        return "empty"
+    h = hashlib.sha1()
+    for rid in unique:
+        h.update(rid.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknown — err on the side of respecting the lock
+    return True
+
+
 class ShardLock:
     """Advisory exclusive lock on a shard's sidecar ``.lock`` file.
 
@@ -101,46 +136,111 @@ class ShardLock:
     replaces the data file via ``os.replace`` — a lock held on the replaced
     inode would silently stop excluding later writers.
 
-    Uses ``fcntl.flock`` where available; elsewhere falls back to an
-    ``O_CREAT | O_EXCL`` spin lock with a stale-lock timeout.
+    Uses ``fcntl.flock`` where available (the kernel drops it when the
+    holder dies, so staleness cannot arise).  Elsewhere falls back to an
+    ``O_CREAT | O_EXCL`` spin lock whose lock file records the holder's
+    pid: a waiter that finds the file **breaks** it when the recorded pid
+    is no longer alive, or when the file's mtime is older than
+    ``stale_after`` seconds (a holder that died before writing its pid, or
+    on another machine).  Breaking goes through an ``os.rename`` so that
+    of several concurrent breakers exactly one wins — the others see the
+    file vanish and simply retry the ``O_EXCL`` create.  Each break is
+    reported through ``on_event("service-lock-stale", ...)``.
     """
 
-    def __init__(self, path: str, timeout: float = 30.0, poll: float = 0.005):
+    def __init__(
+        self,
+        path: str,
+        timeout: float = 30.0,
+        poll: float = 0.005,
+        stale_after: float = 30.0,
+        on_event: Optional[Callable[[str, str], Any]] = None,
+        use_flock: Optional[bool] = None,
+    ):
         self.path = path
         self.timeout = float(timeout)
         self.poll = float(poll)
+        self.stale_after = float(stale_after)
+        self.on_event = on_event
+        self._use_flock = (fcntl is not None) if use_flock is None else bool(use_flock)
+        if self._use_flock and fcntl is None:  # pragma: no cover - off-POSIX
+            raise RuntimeError("flock requested but fcntl is unavailable")
         self._fd: Optional[int] = None
 
     def acquire(self) -> None:
         """Block until the lock is held (non-reentrant)."""
         if self._fd is not None:
             raise RuntimeError("lock is not reentrant")
-        if fcntl is not None:
+        if self._use_flock:
             fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
             fcntl.flock(fd, fcntl.LOCK_EX)
             self._fd = fd
             return
-        deadline = time.monotonic() + self.timeout  # pragma: no cover - off-POSIX
-        while True:  # pragma: no cover
+        lockfile = self.path + ".x"
+        deadline = time.monotonic() + self.timeout
+        while True:
             try:
-                self._fd = os.open(self.path + ".x", os.O_CREAT | os.O_EXCL | os.O_RDWR)
-                return
+                fd = os.open(lockfile, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
             except FileExistsError:
+                if self._break_stale(lockfile):
+                    continue  # broken (or holder released); retry immediately
                 if time.monotonic() >= deadline:
                     raise TimeoutError(f"could not lock {self.path}")
                 time.sleep(self.poll)
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            self._fd = fd
+            return
+
+    def _break_stale(self, lockfile: str) -> bool:
+        """Remove ``lockfile`` if its holder is provably gone.
+
+        Returns ``True`` when the caller should retry the create at once —
+        either we broke the lock or it disappeared on its own.
+        """
+        try:
+            st = os.stat(lockfile)
+            with open(lockfile, "r", encoding="ascii", errors="replace") as fh:
+                raw = fh.read().strip()
+        except (FileNotFoundError, OSError):
+            return True  # released (or already broken) while we looked
+        try:
+            pid = int(raw)
+        except ValueError:
+            pid = 0  # holder died between create and pid write, or foreign file
+        if pid and _pid_alive(pid):
+            return False
+        if not pid and time.time() - st.st_mtime < self.stale_after:
+            return False  # pid not written *yet* — give the holder time
+        # exactly one breaker wins the rename; losers retry the O_EXCL create
+        grave = f"{lockfile}.stale-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            os.rename(lockfile, grave)
+        except (FileNotFoundError, OSError):
+            return True
+        try:
+            os.unlink(grave)
+        except OSError:  # pragma: no cover - grave cleanup is best-effort
+            pass
+        if self.on_event is not None:
+            why = f"pid {pid} dead" if pid else f"no pid for >{self.stale_after:g}s"
+            self.on_event("service-lock-stale", f"{self.path}: broke stale lock ({why})")
+        return True
 
     def release(self) -> None:
         """Drop the lock; a no-op when it is not held."""
         fd, self._fd = self._fd, None
         if fd is None:
             return
-        if fcntl is not None:
+        if self._use_flock:
             fcntl.flock(fd, fcntl.LOCK_UN)
             os.close(fd)
-        else:  # pragma: no cover - off-POSIX
+        else:
             os.close(fd)
-            os.unlink(self.path + ".x")
+            try:
+                os.unlink(self.path + ".x")
+            except FileNotFoundError:  # pragma: no cover - broken as stale
+                pass
 
     def __enter__(self) -> "ShardLock":
         self.acquire()
@@ -156,6 +256,91 @@ class _ShardState:
     def __init__(self):
         self.offset = 0
         self.rids: Set[str] = set()
+        self.etag: Optional[str] = None  # memo of _etag_of(rids)
+
+
+class _CacheEntry:
+    __slots__ = ("etag", "rows", "fingerprints", "nbytes")
+
+    def __init__(self, etag: str, rows: List[Dict[str, Any]], nbytes: int):
+        self.etag = etag
+        self.rows = rows
+        self.fingerprints: Optional[List[str]] = None  # computed lazily
+        self.nbytes = nbytes
+
+
+class ShardReadCache:
+    """Etag-keyed LRU cache of parsed shards, bounded by a byte budget.
+
+    Repeat ``query``/``records`` traffic against a hot shard re-reads and
+    re-parses the same JSONL on every request; this cache keeps the parsed
+    rows (and, lazily, their content fingerprints) keyed by the shard's
+    content-defined etag, so an entry self-invalidates the moment the shard
+    changes — an appended record changes the etag and the stale entry is
+    simply never hit again.  Eviction is LRU over an approximate byte
+    accounting (the shard's on-disk size), so one huge shard cannot pin the
+    whole budget while small hot shards thrash.
+
+    Thread-safe: the HTTP server's handler threads share one instance.
+    Hits/misses/evictions are counted into ``metrics`` when attached
+    (``repro_service_read_cache_{hits,misses,evictions}_total`` plus the
+    ``repro_service_read_cache_bytes`` gauge).
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024, metrics=None):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_bytes = int(max_bytes)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._bytes = 0
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"repro_service_read_cache_{name}_total")
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_service_read_cache_bytes", float(self._bytes))
+
+    def get(self, problem: str, etag: str) -> Optional[_CacheEntry]:
+        """The cached entry for ``problem`` iff it matches ``etag``."""
+        with self._lock:
+            entry = self._entries.get(problem)
+            if entry is None or entry.etag != etag:
+                self._count("misses")
+                return None
+            self._entries.move_to_end(problem)
+            self._count("hits")
+            return entry
+
+    def put(self, problem: str, entry: _CacheEntry) -> None:
+        """Insert/replace one shard's entry, evicting LRU past the budget."""
+        with self._lock:
+            old = self._entries.pop(problem, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[problem] = entry
+            self._bytes += entry.nbytes
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._count("evictions")
+            self._gauge()
+
+    def invalidate(self, problem: str) -> None:
+        """Drop one shard's entry (e.g. after a local append)."""
+        with self._lock:
+            entry = self._entries.pop(problem, None)
+            if entry is not None:
+                self._bytes -= entry.nbytes
+                self._gauge()
+
+    def stats(self) -> Dict[str, int]:
+        """Current occupancy: ``{"entries", "bytes"}``."""
+        with self._lock:
+            return {"entries": len(self._entries), "bytes": self._bytes}
 
 
 class ShardedStore:
@@ -169,12 +354,24 @@ class ShardedStore:
         Optional ``callback(kind, detail)`` — e.g.
         :meth:`repro.runtime.trace.CampaignLog.record` — receiving service
         lifecycle events (``"service-append"``, ``"service-compact"``,
-        ``"service-torn-line"``).
+        ``"service-torn-line"``, ``"service-lock-stale"``).
+    cache:
+        Optional :class:`ShardReadCache`; when attached, :meth:`records`,
+        :meth:`count` and :meth:`fingerprints` serve hot shards from parsed
+        memory keyed by the shard's etag instead of re-reading the JSONL.
+        Appends/compactions through *this* store invalidate eagerly; writes
+        by other processes are caught by the etag key itself.
     """
 
-    def __init__(self, root: str, on_event: Optional[Callable[[str, str], Any]] = None):
+    def __init__(
+        self,
+        root: str,
+        on_event: Optional[Callable[[str, str], Any]] = None,
+        cache: Optional[ShardReadCache] = None,
+    ):
         self.root = str(root)
         self.on_event = on_event
+        self.cache = cache
         self._shards: Dict[str, _ShardState] = {}
         os.makedirs(self.root, exist_ok=True)
 
@@ -184,7 +381,9 @@ class ShardedStore:
         return os.path.join(self.root, _slug(problem) + ".jsonl")
 
     def _lock(self, problem: str) -> ShardLock:
-        return ShardLock(os.path.join(self.root, _slug(problem) + ".lock"))
+        return ShardLock(
+            os.path.join(self.root, _slug(problem) + ".lock"), on_event=self._emit
+        )
 
     def _emit(self, kind: str, detail: str) -> None:
         if self.on_event is not None:
@@ -206,15 +405,69 @@ class ShardedStore:
         archive into another store without duplicating it).
         """
         out = []
-        for rec in self._read_all(problem):
+        for rec in self._cached_rows(problem):
             if not with_rid:
                 rec = {k: rec[k] for k in _PAYLOAD_KEYS}
+            else:
+                rec = dict(rec)  # cached rows are shared; hand out copies
             out.append(rec)
         return out
 
     def count(self, problem: str) -> int:
         """Number of valid records in one shard."""
-        return len(self._read_all(problem))
+        return len(self._cached_rows(problem))
+
+    def snapshot(self, problem: str) -> Tuple[List[Dict[str, Any]], str]:
+        """A *consistent* ``(records, etag)`` pair of one shard.
+
+        The etag is computed from the very rows returned (hash of their rid
+        set), never read separately — so a reader racing appends or
+        :meth:`compact` observes some complete prefix of the shard with
+        exactly that prefix's etag, never a torn pairing.  The HTTP layer
+        serves conditional GETs from this.  The returned rows are the
+        cache's own (do not mutate); :meth:`records` hands out copies.
+        """
+        if self.cache is not None:
+            current = self.etag(problem)
+            entry = self.cache.get(problem, current)
+            if entry is None:
+                entry = self._fill_cache(problem)
+            return entry.rows, entry.etag
+        rows = self._read_all(problem)
+        return rows, _etag_of(row["rid"] for row in rows)
+
+    def fingerprints(self, problem: str) -> List[str]:
+        """Content fingerprints of one shard's records, in append order.
+
+        Served from the read cache when attached — the fingerprints are
+        computed once per shard version and reused until the etag moves,
+        which is what keeps repeat model-cache lookups off the SHA-1 path.
+        """
+        if self.cache is None:
+            return [content_fingerprint(r) for r in self._read_all(problem)]
+        current = self.etag(problem)
+        entry = self.cache.get(problem, current)
+        if entry is None:
+            entry = self._fill_cache(problem)
+        if entry.fingerprints is None:
+            entry.fingerprints = [content_fingerprint(r) for r in entry.rows]
+        return list(entry.fingerprints)
+
+    def _cached_rows(self, problem: str) -> List[Dict[str, Any]]:
+        """Parsed rows of one shard, through the read cache when attached."""
+        return self.snapshot(problem)[0]
+
+    def _fill_cache(self, problem: str) -> _CacheEntry:
+        """Parse one shard and cache it keyed by the etag *of those rows*."""
+        rows = self._read_all(problem)
+        etag = _etag_of(row["rid"] for row in rows)
+        try:
+            nbytes = os.path.getsize(self.shard_path(problem))
+        except OSError:
+            nbytes = 0
+        entry = _CacheEntry(etag, rows, max(nbytes, 1))
+        self.cache.put(problem, entry)
+        return entry
 
     def etag(self, problem: str) -> str:
         """Content-defined shard version: hash of the sorted rid set.
@@ -224,14 +477,10 @@ class ShardedStore:
         the fixed token ``"empty"``.
         """
         self._refresh(problem)
-        rids = self._shards[problem].rids
-        if not rids:
-            return "empty"
-        h = hashlib.sha1()
-        for rid in sorted(rids):
-            h.update(rid.encode("ascii"))
-            h.update(b"\n")
-        return h.hexdigest()
+        state = self._shards[problem]
+        if state.etag is None:
+            state.etag = _etag_of(state.rids)
+        return state.etag
 
     def stats(self) -> Dict[str, Any]:
         """Store-wide summary: per-problem counts, etags, and disk bytes."""
@@ -249,15 +498,14 @@ class ShardedStore:
         return {"root": self.root, "n_records": total, "problems": per}
 
     # -- updates -------------------------------------------------------------
-    def append(self, problem: str, records: Sequence[Mapping[str, Any]]) -> List[str]:
-        """Append records to one shard; returns the rids actually written.
+    def prepare(self, records: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        """Validate records and normalize them into append-ready rows.
 
-        Records lacking a ``rid`` get a fresh unique one (repeated payloads
-        are kept — re-measuring a configuration is legitimate).  Records
-        carrying a ``rid`` already present in the shard are skipped, making
-        archive syncs idempotent.  The write is one ``write`` + ``fsync`` of
-        complete lines under the shard's exclusive lock, so concurrent
-        appends interleave without tearing each other.
+        Each row gets a ``rid`` (kept when the input carries one, freshly
+        assigned otherwise).  Raises ``ValueError``/``TypeError`` on
+        malformed input — :class:`~repro.service.batch.WriteBatcher` calls
+        this *before* queueing, so one bad request can never fail the batch
+        it would have ridden in.
         """
         prepared = []
         for rec in records:
@@ -271,6 +519,19 @@ class ShardedStore:
             rid = rec.get("rid")
             row["rid"] = str(rid) if rid else uuid.uuid4().hex
             prepared.append(row)
+        return prepared
+
+    def append(self, problem: str, records: Sequence[Mapping[str, Any]]) -> List[str]:
+        """Append records to one shard; returns the rids actually written.
+
+        Records lacking a ``rid`` get a fresh unique one (repeated payloads
+        are kept — re-measuring a configuration is legitimate).  Records
+        carrying a ``rid`` already present in the shard are skipped, making
+        archive syncs idempotent.  The write is one ``write`` + ``fsync`` of
+        complete lines under the shard's exclusive lock, so concurrent
+        appends interleave without tearing each other.
+        """
+        prepared = self.prepare(records)
         if not prepared:
             return []
         path = self.shard_path(problem)
@@ -287,6 +548,7 @@ class ShardedStore:
                 lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
             if not written:
                 return []
+            state.etag = None
             blob = "\n".join(lines) + "\n"
             # a crashed writer may have left a torn, unterminated last line;
             # starting on a fresh line quarantines it for compaction to drop
@@ -299,6 +561,8 @@ class ShardedStore:
             finally:
                 os.close(fd)
             state.offset = os.path.getsize(path)
+        if self.cache is not None:
+            self.cache.invalidate(problem)
         self._emit("service-append", f"{problem}: +{len(written)} record(s)")
         return written
 
@@ -310,6 +574,8 @@ class ShardedStore:
             except FileNotFoundError:
                 pass
             self._shards.pop(problem, None)
+        if self.cache is not None:
+            self.cache.invalidate(problem)
 
     def compact(self, problem: str) -> Dict[str, int]:
         """Rewrite one shard: drop torn lines and duplicate rids.
@@ -340,6 +606,8 @@ class ShardedStore:
             state.offset = os.path.getsize(path)
             state.rids = seen
             self._shards[problem] = state
+        if self.cache is not None:
+            self.cache.invalidate(problem)
         dropped = len(rows) - len(kept)
         self._emit(
             "service-compact",
@@ -400,7 +668,7 @@ class ShardedStore:
         state = self._shards.setdefault(problem, _ShardState())
         size = os.path.getsize(path) if os.path.exists(path) else 0
         if size < state.offset:
-            state.offset, state.rids = 0, set()
+            state.offset, state.rids, state.etag = 0, set(), None
         if size == state.offset:
             return
         with open(path, "rb") as fh:
@@ -418,5 +686,7 @@ class ShardedStore:
                 rid = row["rid"]
             except (ValueError, TypeError, KeyError):
                 continue
-            state.rids.add(str(rid))
+            if str(rid) not in state.rids:
+                state.rids.add(str(rid))
+                state.etag = None
         state.offset += complete

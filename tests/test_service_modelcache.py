@@ -164,3 +164,46 @@ class TestWarmStartAcceptance:
         assert events.count("model-fit") >= 1
         assert events.count("model-cache-store") >= 1
         assert len(SurrogateCache(cache_path)) == events.count("model-cache-store")
+
+
+class TestLookupMemo:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return SurrogateCache(str(tmp_path / "fits.jsonl"))
+
+    def test_repeated_lookup_is_memoized(self, cache):
+        cache.put(_fit(["a", "b"]))
+        first = cache.lookup("p", 0, ["a", "b"], 2, 1, 2)
+        assert first is not None
+        assert len(cache._lookup_memo) == 1
+        again = cache.lookup("p", 0, ["b", "a"], 2, 1, 2)  # same query set
+        assert again is not None
+        assert again.key == first.key
+        assert len(cache._lookup_memo) == 1  # one memo entry served both
+
+    def test_memo_remembers_misses(self, cache):
+        cache.put(_fit(["a", "b"]))
+        assert cache.lookup("other", 0, ["a", "b"], 2, 1, 2) is None
+        assert len(cache._lookup_memo) == 1  # misses memoized too
+        assert cache.lookup("other", 0, ["a", "b"], 2, 1, 2) is None
+
+    def test_put_invalidates_memo(self, cache):
+        cache.put(_fit(["a", "b"]))
+        partial = cache.lookup("p", 0, ["a", "b", "c"], 2, 1, 2)
+        assert partial is not None  # subset match serves as warm start
+        cache.put(_fit(["a", "b", "c"]))  # an exact fit arrives later
+        best = cache.lookup("p", 0, ["a", "b", "c"], 2, 1, 2)
+        assert best.key == _fit(["a", "b", "c"]).key  # memo was invalidated
+
+    def test_foreign_write_invalidates_memo(self, tmp_path):
+        path = str(tmp_path / "fits.jsonl")
+        reader = SurrogateCache(path)
+        assert reader.lookup("p", 0, ["a", "b"], 2, 1, 2) is None
+        SurrogateCache(path).put(_fit(["a", "b"]))  # another process writes
+        assert reader.lookup("p", 0, ["a", "b"], 2, 1, 2) is not None
+
+    def test_compact_invalidates_memo(self, cache):
+        cache.put(_fit(["a", "b"]))
+        assert cache.lookup("p", 0, ["a", "b"], 2, 1, 2) is not None
+        cache.compact()
+        assert cache.lookup("p", 0, ["a", "b"], 2, 1, 2) is not None

@@ -224,3 +224,198 @@ class TestCrowdTuning:
         )
         assert len(res.data.X[0]) == 6
         assert client.count(problem.name) == 6  # 4 archived + 2 fresh
+
+
+class TestKeepAliveAndRetries:
+    def test_connection_is_pooled_across_requests(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        client.records("qr")
+        client.problems()
+        client.stats()
+        assert client._pool.created == 1  # one TCP connection did it all
+
+    def test_get_retries_on_dead_pooled_connection(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        # poison the pool with a connection the server no longer knows
+        conn = client._pool.get()
+        conn.close()
+        client._pool.put(conn)
+        assert len(client.records("qr")) == 1  # retried on a fresh conn
+
+    def test_close_empties_pool_but_client_stays_usable(self, service):
+        client, _ = service
+        client.problems()
+        client.close()
+        assert client.problems() == []
+
+
+class TestBackpressureHTTP:
+    @pytest.fixture
+    def saturable(self, tmp_path):
+        from repro.service.server import make_server
+
+        server = make_server(str(tmp_path / "db"), port=0, max_inflight=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield ServiceClient(f"http://{host}:{port}"), server
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_saturated_server_answers_429_with_retry_after(self, saturable):
+        client, server = saturable
+        # exhaust the admission slots by hand: requests now get 429
+        taken = 0
+        while server.admit():
+            taken += 1
+        try:
+            with pytest.raises(ServiceError) as err:
+                client.problems()
+            assert err.value.status == 429
+            assert err.value.retry_after > 0
+        finally:
+            for _ in range(taken):
+                server.release()
+        assert client.problems() == []  # slots back: served again
+
+    def test_metrics_endpoint_exempt_from_admission(self, saturable):
+        client, server = saturable
+        taken = 0
+        while server.admit():
+            taken += 1
+        try:
+            resp = urllib.request.urlopen(client.base_url + "/metrics")
+            assert resp.status == 200  # scraping survives saturation
+        finally:
+            for _ in range(taken):
+                server.release()
+
+    def test_write_queue_backpressure_maps_to_429(self, tmp_path):
+        from repro.service.server import make_server
+        from repro.service.batch import BackpressureError
+
+        server = make_server(str(tmp_path / "db"), port=0, max_pending=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        try:
+            def full_submit(problem, records, timeout=60.0):
+                raise BackpressureError("write queue full", retry_after=0.25)
+
+            server.batcher.submit = full_submit
+            with pytest.raises(ServiceError) as err:
+                client.append("qr", [REC])
+            assert err.value.status == 429
+            assert err.value.retry_after == 0.25
+        finally:
+            client.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestScrapeGauges:
+    def test_scrape_exposes_service_gauges(self, service):
+        client, _ = service
+        client.append("qr", [REC])
+        client.records("qr")
+        client.records("qr")  # hot read: fills + hits the cache
+        text = urllib.request.urlopen(client.base_url + "/metrics").read().decode()
+        assert "# TYPE repro_service_write_queue_depth gauge" in text
+        assert "# TYPE repro_service_requests_inflight gauge" in text
+        assert "# TYPE repro_service_read_cache_bytes gauge" in text
+        assert "repro_service_read_cache_hits_total" in text
+        assert "repro_service_commits_total" in text
+        assert "# TYPE repro_service_batch_records histogram" in text
+        assert "# TYPE repro_service_flush_seconds histogram" in text
+
+
+class TestConsistencyUnderCompaction:
+    """Etag-conditional reads and writes racing compact() never tear."""
+
+    def test_reads_racing_compaction_stay_consistent(self, service):
+        from repro.service.store import _etag_of
+
+        client, store = service
+        client.append("qr", [REC, REC2])
+        stop = threading.Event()
+        churn_errors = []
+
+        def churn():
+            i = 0
+            try:
+                while not stop.is_set():
+                    store.compact("qr")
+                    client.append("qr", [{"task": {"m": i}, "x": {"b": i},
+                                          "y": [float(i)]}])
+                    i += 1
+            except Exception as e:  # pragma: no cover - failure reporting
+                churn_errors.append(e)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for _ in range(60):
+                status, payload, headers = client._request(
+                    "GET", client._url("records", "qr")
+                )
+                assert status == 200
+                rows = payload["records"]
+                served_etag = headers.get("etag", "").strip('"')
+                # the etag served MUST be the etag OF the rows served —
+                # a torn view pairs one version's etag with another's rows
+                assert served_etag == _etag_of(r["rid"] for r in rows)
+        finally:
+            stop.set()
+            churner.join(timeout=30)
+        assert churn_errors == []
+
+    def test_if_match_append_racing_compaction_never_corrupts(self, service):
+        client, store = service
+        client.append("qr", [REC])
+        stop = threading.Event()
+
+        def compact_loop():
+            while not stop.is_set():
+                store.compact("qr")
+
+        churner = threading.Thread(target=compact_loop)
+        churner.start()
+        appended, stale = 0, 0
+        try:
+            for i in range(40):
+                etag = client.etag("qr")
+                try:
+                    out = client.append(
+                        "qr",
+                        [{"task": {"m": i}, "x": {"b": i}, "y": [float(i)]}],
+                        if_match=etag,
+                    )
+                    appended += out["appended"]
+                except StaleEtagError:
+                    stale += 1  # legal outcome of the race; data unharmed
+        finally:
+            stop.set()
+            churner.join(timeout=30)
+        # every successful append is present exactly once
+        rows = client.records("qr")
+        rids = [r["rid"] for r in rows]
+        assert len(rids) == len(set(rids))
+        assert len(rows) == 1 + appended
+        # compaction never produced junk
+        assert client.compact("qr")["kept"] == 1 + appended
+
+    def test_304_racing_compaction(self, service):
+        client, store = service
+        client.append("qr", [REC])
+        etag = client.etag("qr")
+        store.compact("qr")  # compaction preserves the rid set
+        assert client.records("qr", etag=etag) is None  # still 304
+        client.append("qr", [REC2])
+        assert len(client.records("qr", etag=etag)) == 2  # moved: full body

@@ -3,6 +3,7 @@ and the HistoryDB back-compat shim routed through it."""
 
 import json
 import os
+import time
 
 import pytest
 
@@ -197,3 +198,163 @@ class TestHistoryDBShim:
         a.append("qr", [REC])
         assert a.count("qr") == 3
         assert b.count("qr") == 3
+
+
+class TestPrepare:
+    def test_prepare_assigns_fresh_rids(self, store):
+        rows = store.prepare([REC, REC2])
+        assert len(rows) == 2
+        assert all(r["rid"] for r in rows)
+        assert rows[0]["rid"] != rows[1]["rid"]
+        assert store.count("qr") == 0  # prepare writes nothing
+
+    def test_prepare_keeps_caller_rids(self, store):
+        rows = store.prepare([dict(REC, rid="abc123")])
+        assert rows[0]["rid"] == "abc123"
+
+    def test_prepare_rejects_malformed(self, store):
+        with pytest.raises(ValueError):
+            store.prepare([{"task": {}, "x": {}}])  # no y
+
+    def test_snapshot_pairs_rows_with_their_etag(self, store):
+        store.append("qr", [REC, REC2])
+        rows, etag = store.snapshot("qr")
+        assert len(rows) == 2
+        assert etag == store.etag("qr")
+        from repro.service.store import _etag_of
+        assert etag == _etag_of(r["rid"] for r in rows)
+
+
+class TestReadCache:
+    def test_hot_read_hits_cache(self, tmp_path):
+        from repro.service import ShardReadCache
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = ShardReadCache(metrics=metrics)
+        store = ShardedStore(str(tmp_path / "db"), cache=cache)
+        store.append("qr", [REC, REC2])
+        first = store.records("qr")
+        second = store.records("qr")
+        assert first == second
+        assert metrics.counter_value("repro_service_read_cache_hits_total") >= 1
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["bytes"] > 0
+
+    def test_append_invalidates(self, tmp_path):
+        from repro.service import ShardReadCache
+
+        cache = ShardReadCache()
+        store = ShardedStore(str(tmp_path / "db"), cache=cache)
+        store.append("qr", [REC])
+        assert len(store.records("qr")) == 1
+        store.append("qr", [REC2])
+        assert len(store.records("qr")) == 2  # no stale serve
+
+    def test_foreign_write_caught_by_etag_key(self, tmp_path):
+        from repro.service import ShardReadCache
+
+        cache = ShardReadCache()
+        cached = ShardedStore(str(tmp_path / "db"), cache=cache)
+        other = ShardedStore(str(tmp_path / "db"))  # no shared cache
+        cached.append("qr", [REC])
+        assert len(cached.records("qr")) == 1
+        other.append("qr", [REC2])  # invalidates nothing in `cache`
+        assert len(cached.records("qr")) == 2  # etag key self-invalidates
+
+    def test_lru_eviction_respects_byte_budget(self, tmp_path):
+        from repro.service import ShardReadCache
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = ShardReadCache(max_bytes=1, metrics=metrics)
+        store = ShardedStore(str(tmp_path / "db"), cache=cache)
+        store.append("a", [REC])
+        store.append("b", [REC2])
+        store.records("a")
+        store.records("b")  # budget of 1 byte: "a" must go
+        assert cache.stats()["entries"] == 1
+        assert metrics.counter_value(
+            "repro_service_read_cache_evictions_total"
+        ) >= 1
+
+
+class TestStaleLockBreaking:
+    def _lock(self, tmp_path, **kw):
+        from repro.service import ShardLock
+
+        return ShardLock(str(tmp_path / "s.lock"), use_flock=False, **kw)
+
+    def test_dead_pid_lock_is_broken(self, tmp_path):
+        events = []
+        lock = self._lock(
+            tmp_path, on_event=lambda k, d: events.append((k, d))
+        )
+        # fabricate a lock left by a crashed holder: dead-but-valid pid
+        import subprocess
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        with open(str(tmp_path / "s.lock") + ".x", "w") as fh:
+            fh.write(str(proc.pid))
+        with lock:
+            pass  # acquired despite the leftover file
+        assert any(k == "service-lock-stale" for k, _ in events)
+        assert any("dead" in d for _, d in events)
+
+    def test_pidless_lock_broken_after_stale_age(self, tmp_path):
+        events = []
+        lock = self._lock(
+            tmp_path,
+            stale_after=0.05,
+            on_event=lambda k, d: events.append((k, d)),
+        )
+        lockfile = str(tmp_path / "s.lock") + ".x"
+        with open(lockfile, "w") as fh:
+            pass  # holder died before writing its pid
+        old = time.time() - 1.0
+        os.utime(lockfile, (old, old))
+        with lock:
+            pass
+        assert any(k == "service-lock-stale" for k, _ in events)
+
+    def test_fresh_pidless_lock_is_respected(self, tmp_path):
+        lock = self._lock(tmp_path, timeout=0.2, stale_after=30.0)
+        with open(str(tmp_path / "s.lock") + ".x", "w") as fh:
+            pass  # just created: the holder may not have written its pid yet
+        with pytest.raises(TimeoutError):
+            lock.acquire()
+
+    def test_live_holder_times_out_waiter(self, tmp_path):
+        holder = self._lock(tmp_path)
+        holder.acquire()
+        waiter = self._lock(tmp_path, timeout=0.2)
+        with pytest.raises(TimeoutError):
+            waiter.acquire()
+        holder.release()
+        with waiter:  # released: acquirable again
+            pass
+
+    def test_exactly_one_concurrent_breaker_wins(self, tmp_path):
+        import subprocess
+        import threading
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        with open(str(tmp_path / "s.lock") + ".x", "w") as fh:
+            fh.write(str(proc.pid))
+        acquired = []
+
+        def contend():
+            lock = self._lock(tmp_path, timeout=5.0)
+            lock.acquire()
+            acquired.append(lock)
+            time.sleep(0.02)
+            lock.release()
+
+        threads = [threading.Thread(target=contend) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(acquired) == 4  # all eventually serialized through
