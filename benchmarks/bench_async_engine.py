@@ -30,7 +30,13 @@ flakiness.
 * **deterministic resume** — a campaign killed mid-flight (in-flight
   evaluations checkpointed with their remaining virtual durations) and
   resumed on a fresh scheduler reproduces the uninterrupted evaluation
-  set exactly.
+  set exactly;
+* **mo-speedup** — the *multi-objective* async campaign (per-task NSGA-II
+  streaming) beats the lockstep NSGA-II barrier schedule by ≥ 1.5× on the
+  same heavy-tailed durations;
+* **mo-quality** — per task, the async campaign's 2-D Pareto hypervolume
+  is within 5% of the lockstep reference (streaming must not cost front
+  coverage).
 
 Run::
 
@@ -192,6 +198,124 @@ def check_deterministic_resume(async_res):
     return bool(resumed.data.to_records() == async_res.data.to_records())
 
 
+def mo_objective(t, c):
+    """Two conflicting objectives: a task-dependent optimum vs a fixed one.
+
+    The Pareto front spans ``x ∈ [0.2 + 0.06·t, 0.9]``, so front *coverage*
+    (hypervolume) distinguishes a tuner that explores the trade-off from one
+    that camps on a single compromise point.
+    """
+    x = float(c["x"])
+    mu = 0.2 + 0.06 * float(t["t"])
+    return [1.0 + (x - mu) ** 2, 1.0 + (x - 0.9) ** 2]
+
+
+def _mo_problem():
+    return TuningProblem(
+        Space([Integer("t", 0, N_TASKS)]),
+        Space([Real("x", 0.0, 1.0)]),
+        mo_objective,
+        n_objectives=2,
+    )
+
+
+def run_async_mo():
+    """Multi-objective async campaign on the virtual clock."""
+    clock = SimClock()
+    sched = SimScheduler(duration, clock=clock)
+    res = GPTune(
+        _mo_problem(),
+        _options(async_eval=True, max_inflight=N_WORKERS),
+        scheduler=sched,
+    ).tune(TASKS, N_SAMPLES)
+    return res, clock.now
+
+
+def run_lockstep_mo():
+    """Lockstep NSGA-II campaign + its barrier-schedule makespan.
+
+    Algorithm 2 evaluates the LHS design in one batch, then up to
+    ``pareto_batch`` proposals per task per iteration; each iteration's
+    proposals form one barrier batch (LPT over the shared workers), and the
+    batch walls add up.
+    """
+    opts = _options(backend="serial")
+    res = GPTune(_mo_problem(), opts).tune(TASKS, N_SAMPLES)
+    eps_init = max(2, int(round(N_SAMPLES * opts.initial_fraction)))
+    k = opts.pareto_batch
+    design = [
+        duration(i, res.data.X[i][r])
+        for i in range(N_TASKS)
+        for r in range(min(eps_init, len(res.data.X[i])))
+    ]
+    makespan = _lpt(design, N_WORKERS)
+    j = eps_init
+    while True:
+        batch = [
+            duration(i, res.data.X[i][r])
+            for i in range(N_TASKS)
+            for r in range(j, min(j + k, len(res.data.X[i])))
+        ]
+        if not batch:
+            break
+        makespan += _lpt(batch, N_WORKERS)
+        j += k
+    return res, makespan
+
+
+def _hv2d(F, ref):
+    """2-D hypervolume (minimization) of a point set against ``ref``.
+
+    Standard sweep: sort by the first objective ascending and sum the
+    rectangles each non-dominated point adds over the best second objective
+    seen so far.  Points outside the reference box contribute nothing.
+    """
+    pts = sorted(
+        (float(f[0]), float(f[1]))
+        for f in F
+        if f[0] <= ref[0] and f[1] <= ref[1]
+    )
+    hv, best1 = 0.0, float(ref[1])
+    for f0, f1 in pts:
+        if f1 < best1:
+            hv += (ref[0] - f0) * (best1 - f1)
+            best1 = f1
+    return hv
+
+
+def check_mo_gates():
+    """Multi-objective streaming gates: makespan and Pareto hypervolume."""
+    async_res, async_makespan = run_async_mo()
+    lock_res, lock_makespan = run_lockstep_mo()
+
+    speedup = lock_makespan / async_makespan
+    g_speed = bool(speedup >= 1.5)
+    print(f"  mo-speedup: {fmt(speedup)}x (lockstep {fmt(lock_makespan)}s vs "
+          f"async {fmt(async_makespan)}s virtual)  "
+          f"{'PASS' if g_speed else 'FAIL'}")
+
+    hv_ratios = []
+    for i in range(N_TASKS):
+        Fa = np.asarray(async_res.data.Y[i], dtype=float)
+        Fl = np.asarray(lock_res.data.Y[i], dtype=float)
+        ref = np.max(np.vstack([Fa, Fl]), axis=0) + 0.1
+        hv_a = _hv2d(async_res.pareto_front(i)[1], ref)
+        hv_l = _hv2d(lock_res.pareto_front(i)[1], ref)
+        hv_ratios.append(hv_a / hv_l if hv_l > 0 else 1.0)
+    g_hv = bool(min(hv_ratios) >= 0.95)
+    print(f"  mo-quality: per-task Pareto hypervolume within 5% of lockstep "
+          f"(worst ratio {fmt(min(hv_ratios))})  {'PASS' if g_hv else 'FAIL'}")
+
+    return {
+        "makespan_virtual_s": float(async_makespan),
+        "lockstep_makespan_virtual_s": float(lock_makespan),
+        "speedup": float(speedup),
+        "hypervolume_ratios": [float(r) for r in hv_ratios],
+        "mo_speedup_at_least_1_5x": g_speed,
+        "mo_hypervolume_within_5pct": g_hv,
+    }
+
+
 def check_gates(async_res, async_makespan, lock_res, lock_makespan):
     """The four deterministic CI gates; prints PASS/FAIL per gate."""
     speedup = lock_makespan / async_makespan
@@ -222,13 +346,18 @@ def check_gates(async_res, async_makespan, lock_res, lock_makespan):
     print(f"  resume: killed-mid-flight campaign resumes to the identical "
           f"evaluation set  {'PASS' if g_resume else 'FAIL'}")
 
+    mo = check_mo_gates()
+    g_mo = mo["mo_speedup_at_least_1_5x"] and mo["mo_hypervolume_within_5pct"]
+
     return {
         "speedup_at_least_2x": g_speed,
         "quality_within_5pct": g_quality,
         "no_duplicate_evals": g_nodup,
         "same_seed_identical": g_det,
         "deterministic_resume": g_resume,
-        "passed": g_speed and g_quality and g_nodup and g_det and g_resume,
+        "multi_objective": mo,
+        "passed": g_speed and g_quality and g_nodup and g_det and g_resume
+        and g_mo,
     }
 
 

@@ -134,6 +134,8 @@ def _cmd_tune(args) -> int:
             backend=backend,
             async_eval=bool(args.async_eval),
             max_inflight=args.max_inflight,
+            async_refit_secs=args.async_interval,
+            allow_async_fallback=bool(args.allow_async_fallback),
             model_backend=args.model_backend,
             sparse_threshold=args.sparse_threshold,
             n_inducing=args.n_inducing,
@@ -437,6 +439,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-inflight", type=int, metavar="N",
         help="cap on concurrently outstanding evaluations with --async "
              "(default: max(2, workers))",
+    )
+    p_tune.add_argument(
+        "--async-interval", type=float, metavar="SECS",
+        help="with --async, refit/extend the surrogate at most once per "
+             "SECS seconds instead of before every fill round (default: "
+             "every round)",
+    )
+    p_tune.add_argument(
+        "--allow-async-fallback", action="store_true",
+        help="with --async, run campaign shapes the streaming loop does not "
+             "support through the lockstep loop (recording an "
+             "'async-fallback' event) instead of failing fast",
     )
     p_tune.add_argument(
         "--backend", default=None,

@@ -567,6 +567,49 @@ class LCM:
             self._refactorize(sqd)
         return self
 
+    def refit_at(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task_index: Sequence[int],
+        theta: np.ndarray,
+    ) -> "LCM":
+        """Rebuild the fitted posterior at a known hyperparameter optimum.
+
+        Checkpoint resume uses this to reconstruct an extendable posterior
+        from ``(X, y, task_index, θ)`` without re-running L-BFGS.  The
+        factorization goes through exactly the code path :meth:`fit` ends
+        on — one likelihood evaluation at ``θ`` with factor capture, falling
+        back to :meth:`_refactorize` — so given the same inputs the rebuilt
+        ``(L, α)`` is bitwise identical to the fit that produced ``θ``,
+        which keeps subsequent :meth:`extend` chains bit-identical too.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        tidx = np.asarray(task_index, dtype=int).ravel()
+        if not (X.shape[0] == y.shape[0] == tidx.shape[0]):
+            raise ValueError("X, y and task_index row counts differ")
+        if X.shape[0] == 0:
+            raise ValueError("no observations")
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.shape != (self.params.size,):
+            raise ValueError(
+                f"theta has {theta.shape[0]} entries, expected {self.params.size}"
+            )
+        sqd = pairwise_sq_diffs(X)
+        cap: dict = {}
+        nll, _ = self._nll_and_grad(theta, sqd, y, tidx, capture=cap)
+        self.X, self.y, self.task_index, self.theta = X, y, tidx, theta
+        self.log_likelihood_ = -float(nll)
+        self._pred_cache = {}
+        self._batch_cache = {}
+        if cap.get("theta") is not None and not (self.chol_ranks and self.chol_ranks > 1):
+            self._L, self._alpha = cap["L"], cap["alpha"]
+            self.jitter_used_ = self.jitter
+        else:
+            self._refactorize(sqd)
+        return self
+
     def _refactorize(self, sqd: np.ndarray) -> None:
         """Assemble and factorize Σ(θ) with escalating — not compounding — jitter.
 

@@ -50,7 +50,7 @@ from .perfmodel import ModelFeaturizer
 from .problem import TuningProblem
 from .sampling import LHSSampler, sample_feasible
 from .search.nsga2 import NSGA2, crowding_distance, fast_non_dominated_sort
-from .search.penalty import PenalizedAcquisition, constant_liar
+from .search.penalty import PenalizedAcquisition, constant_liar, penalize_lcb
 from .search.pso import ParticleSwarm
 from .search.pso_batched import BatchedParticleSwarm
 
@@ -438,6 +438,7 @@ class GPTune:
         self._warm_gp_theta: Dict[Tuple[int, int], np.ndarray] = {}
         self._fit_iter = 0
         self._fp_state: Optional[Dict[str, Any]] = None
+        self._feat_state: Optional[Dict[str, Any]] = None
         self._model_backend_last: Dict[int, str] = {}
         self._retry = RetryPolicy(
             max_attempts=self.options.retry_attempts,
@@ -564,12 +565,16 @@ class GPTune:
         iteration: int,
         stats,
         pending: Optional[List[Dict[str, Any]]] = None,
+        modeling: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Write the resumable campaign snapshot (if configured).
 
         ``pending`` carries an async campaign's in-flight evaluations
         (``{"task", "x", "eta"}`` in submission order) so a resumed run can
-        resubmit them with their remaining durations preserved.
+        resubmit them with their remaining durations preserved.  ``modeling``
+        carries the posterior-extension warm state (see
+        :meth:`_modeling_snapshot`) so ``refit_interval > 1`` resumes stay
+        bit-identical.
         """
         path = self.options.checkpoint_path
         if path is None or iteration % self.options.checkpoint_every != 0:
@@ -586,6 +591,7 @@ class GPTune:
             X=[[dict(x) for x in xs] for xs in data.X],
             Y=[[[float(v) for v in y] for y in ys] for ys in data.Y],
             pending=list(pending or []),
+            modeling=modeling,
         )
         ck.save(path)
         self.events.record("checkpoint", f"iteration {iteration} -> {path}")
@@ -712,6 +718,7 @@ class GPTune:
         self._warm_gp_theta = {}
         self._fit_iter = 0
         self._fp_state = None
+        self._feat_state = None
         self._search_mode_last = None
         self._model_backend_last = {}
         stats = {
@@ -754,15 +761,29 @@ class GPTune:
                 raise ValueError(f"frozen task {i} has no preloaded data")
 
         if self.options.async_eval:
-            if gamma == 1 and not self.problem.has_models:
+            reason = self._async_unsupported_reason()
+            if reason is None:
                 return self._tune_async(
                     data, stats, active, frozen_set, n_samples, callback,
                     _resume, resume_children,
                 )
+            if _resume is not None and _resume.pending:
+                raise ValueError(
+                    f"checkpoint holds {len(_resume.pending)} in-flight "
+                    "evaluation(s): it was written by an async campaign, but "
+                    "the current problem no longer qualifies for streaming "
+                    f"({reason})"
+                )
+            if not self.options.allow_async_fallback:
+                raise ValueError(
+                    f"async_eval: {reason}; pass "
+                    "Options(allow_async_fallback=True) to run this campaign "
+                    "through the lockstep loop instead"
+                )
             self.events.record(
                 "async-fallback",
-                "async_eval needs a single objective and no performance "
-                "models; running lockstep",
+                f"{reason}; running lockstep (allow_async_fallback)",
+                reason=reason,
                 gamma=gamma,
                 has_models=self.problem.has_models,
             )
@@ -876,22 +897,33 @@ class GPTune:
         """Streaming MLA: bounded in-flight queue instead of lockstep barriers.
 
         The loop per round: (1) refit/extend the posterior on everything
-        absorbed so far, (2) *fill* free queue slots with proposals against
-        the freshest posterior (design entries first, then penalized-EI
-        search, always the task with the fewest committed evaluations),
+        absorbed so far (skipped while ``options.async_refit_secs`` has not
+        elapsed since the last modeling phase), (2) *fill* free queue slots
+        with proposals against the freshest posterior (design entries first,
+        then penalized acquisition search — EI/PSO for γ = 1, NSGA-II LCB
+        for γ > 1 — always the task with the fewest committed evaluations),
         (3) *drain* — block until at least one evaluation lands — and absorb
         the completions in submission-sequence order.  One straggling
         evaluation holds exactly one slot; every other task keeps streaming.
+        Performance models ride along: one persistent
+        :class:`ModelFeaturizer` enriches training rows, candidates, and
+        pending points, frozen during posterior-extension phases so extended
+        rows stay in the units the model was fitted in.
 
         Determinism: drain batches are seq-sorted by the engine, every
         seed-consuming decision spawns its own seed-tree child in published
-        order, and the LHS design is regenerated on resume from the
-        campaign's *first* child seed — so under a deterministic scheduler a
-        killed+resumed campaign is bit-identical to the uninterrupted one
-        (with the default full-refit modeling options; see docs/ASYNC.md).
+        order, the LHS design is regenerated on resume from the campaign's
+        *first* child seed, and checkpoints carry the posterior-extension
+        warm state — so under a deterministic scheduler a killed+resumed
+        campaign is bit-identical to the uninterrupted one, including with
+        ``refit_interval > 1`` (see docs/ASYNC.md).
         """
         opts = self.options
         space = data.tuning_space
+        gamma = data.n_objectives
+        featurizer = (
+            ModelFeaturizer(self.problem.models) if self.problem.has_models else None
+        )
 
         # The design sampler seed is unconditionally the async campaign's
         # first seed-tree child, so a resumed run re-derives it from
@@ -933,10 +965,12 @@ class GPTune:
             penalty=opts.pending_penalty,
         )
 
-        # per-task in-flight bookkeeping: normalized-key -> unit point (for
-        # the pending penalty and dedup) plus a plain count (key collisions
-        # in an exhausted discrete space must not undercount slots)
-        pend_units: List[Dict[tuple, np.ndarray]] = [
+        # per-task in-flight bookkeeping: normalized-key -> (unit point,
+        # native config) — the unit point feeds the pending penalty and
+        # dedup, the native config lets the featurizer enrich pending points
+        # — plus a plain count (key collisions in an exhausted discrete
+        # space must not undercount slots)
+        pend_units: List[Dict[tuple, Tuple[np.ndarray, Dict[str, Any]]]] = [
             {} for _ in range(data.n_tasks)
         ]
         inflight_cnt = [0] * data.n_tasks
@@ -948,10 +982,11 @@ class GPTune:
         def submit(i, cfg, eta=None):
             key, u = unit_key(cfg)
             eng.submit(i, cfg, eta=eta)
-            pend_units[i][key] = u
+            pend_units[i][key] = (u, dict(cfg))
             inflight_cnt[i] += 1
 
         if _resume is not None:
+            self._restore_modeling_state(_resume.modeling, data, featurizer)
             for entry in _resume.pending:
                 submit(int(entry["task"]), dict(entry["x"]), eta=entry.get("eta"))
 
@@ -972,6 +1007,10 @@ class GPTune:
 
         def fill():
             blocked = set()
+            # γ > 1: one NSGA-II run buffers up to pareto_batch candidates
+            # per task; the buffer lives only within this fill call, so a
+            # resumed run (whose buffer starts empty) replays identically
+            mo_buf: Dict[int, List[np.ndarray]] = {}
             while eng.can_submit:
                 cands = [
                     i
@@ -987,12 +1026,29 @@ class GPTune:
                 if data.n_samples(i) + inflight_cnt[i] < eps_init:
                     cfg = next_design(i)
                 if cfg is None:
-                    cfg = self._propose_async(data, i, bundle, pend_units, stats)
+                    if gamma == 1:
+                        cfg = self._propose_async(
+                            data, i, bundle, pend_units, stats, featurizer
+                        )
+                    else:
+                        cfg = self._propose_async_multi(
+                            data, i, bundle, pend_units, stats, mo_buf
+                        )
                 if cfg is None:
                     # no surrogate yet: leave the slot open until the next fit
                     blocked.add(i)
                     continue
                 submit(i, cfg)
+
+        # periodic-refit cadence: with async_refit_secs set, modeling runs at
+        # most once per interval — on the scheduler's virtual clock when it
+        # has one (SimScheduler: deterministic), else on wall time
+        sim_clock = getattr(scheduler, "clock", None)
+        now = (
+            (lambda: float(sim_clock.now)) if sim_clock is not None
+            else time.perf_counter
+        )
+        last_fit: Optional[float] = None
 
         rounds = int(_resume.iteration) if _resume is not None else 0
         t_begin = time.perf_counter()
@@ -1002,8 +1058,13 @@ class GPTune:
             # on resume the first pass refits from the restored data before
             # anything new is submitted (the checkpoint is written pre-fit,
             # which is what keeps the resumed seed tree aligned)
-            if min(data.n_samples(i) for i in active) >= 2:
-                bundle = self._fit_models(data, stats, None)
+            if min(data.n_samples(i) for i in active) >= 2 and (
+                last_fit is None
+                or opts.async_refit_secs is None
+                or now() - last_fit >= opts.async_refit_secs
+            ):
+                bundle = self._fit_models(data, stats, featurizer, feat_extend=True)
+                last_fit = now()
             fill()
             if eng.inflight == 0:
                 break  # budget reached or nothing proposable
@@ -1051,6 +1112,7 @@ class GPTune:
                     {"task": int(t), "x": dict(cfg), "eta": eta}
                     for (_seq, t, cfg, eta) in eng.pending_snapshot()
                 ],
+                modeling=self._modeling_snapshot(featurizer),
             )
             if self.options.verbose:  # pragma: no cover - logging
                 done = [data.n_samples(i) for i in range(data.n_tasks)]
@@ -1087,13 +1149,59 @@ class GPTune:
         )
         return TuneResult(data, stats, models, events=self.events, metrics=self.metrics)
 
+    def _async_unsupported_reason(self) -> Optional[str]:
+        """Why this campaign cannot stream, or ``None`` when it can.
+
+        After multi-objective and performance-model support landed, the one
+        remaining shape the async loop does not cover is their combination:
+        per-task model enrichment is not wired into the async NSGA-II
+        search.  The caller raises (or, with ``allow_async_fallback``,
+        demotes to lockstep) instead of silently falling back.
+        """
+        if self.problem.n_objectives > 1 and self.problem.has_models:
+            return (
+                "multi-objective campaigns with performance models do not "
+                "stream (per-task model enrichment is not wired into the "
+                "async NSGA-II search)"
+            )
+        return None
+
+    def _pending_matrix(
+        self,
+        data: TuningData,
+        pend_units: List[Dict[tuple, Tuple[np.ndarray, Dict[str, Any]]]],
+        featurizer: Optional[ModelFeaturizer],
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """All tasks' pending points stacked for the constant liar.
+
+        Returns ``(X, task_index)`` in task-major submission order, with
+        model features appended (frozen featurizer state) when the campaign
+        enriches inputs — the liar's :meth:`LCM.extend` needs rows in the
+        exact units the posterior was fitted in.  ``(None, None)`` when
+        nothing is in flight.
+        """
+        blocks, tix = [], []
+        for i in range(data.n_tasks):
+            if not pend_units[i]:
+                continue
+            units = np.vstack([u for (u, _) in pend_units[i].values()])
+            if featurizer is not None:
+                cfgs = [c for (_, c) in pend_units[i].values()]
+                units = featurizer.enrich(data.tasks[i], cfgs, units, observe=False)
+            blocks.append(units)
+            tix.extend([i] * len(pend_units[i]))
+        if not blocks:
+            return None, None
+        return np.vstack(blocks), np.asarray(tix, dtype=int)
+
     def _propose_async(
         self,
         data: TuningData,
         task: int,
         bundle,
-        pend_units: List[Dict[tuple, np.ndarray]],
+        pend_units: List[Dict[tuple, Tuple[np.ndarray, Dict[str, Any]]]],
         stats,
+        featurizer: Optional[ModelFeaturizer] = None,
     ) -> Optional[Dict[str, Any]]:
         """One streaming proposal for ``task`` against the current posterior.
 
@@ -1126,39 +1234,33 @@ class GPTune:
                 yb = ybests[0]
                 acq_model = model
                 penalize = False
-                pending_all = [
-                    (i, u)
-                    for i in range(data.n_tasks)
-                    for u in pend_units[i].values()
-                ]
-                if opts.pending_penalty == "cl" and pending_all:
-                    finite = yb[np.isfinite(yb)]
-                    fallback_lie = float(finite.max()) if finite.size else 0.0
-                    tix = np.array([i for i, _ in pending_all], dtype=int)
-                    lies = np.array(
-                        [
-                            yb[i] if np.isfinite(yb[i]) else fallback_lie
-                            for i in tix
-                        ]
-                    )
-                    liar = constant_liar(
-                        model, np.vstack([u for _, u in pending_all]), tix, lies
-                    )
-                    if liar is not None:
-                        acq_model = liar
-                    else:
-                        penalize = True  # cl impossible: local penalization
+                if opts.pending_penalty == "cl":
+                    P, tix = self._pending_matrix(data, pend_units, featurizer)
+                    if P is not None:
+                        finite = yb[np.isfinite(yb)]
+                        fallback_lie = float(finite.max()) if finite.size else 0.0
+                        lies = np.array(
+                            [
+                                yb[i] if np.isfinite(yb[i]) else fallback_lie
+                                for i in tix
+                            ]
+                        )
+                        liar = constant_liar(model, P, tix, lies)
+                        if liar is not None:
+                            acq_model = liar
+                        else:
+                            penalize = True  # cl impossible: local penalization
                 elif opts.pending_penalty == "lp":
                     penalize = True
                 acq = EIAcquisition(
-                    self._predict_unit(acq_model, task, data.tasks[task], None),
+                    self._predict_unit(acq_model, task, data.tasks[task], featurizer),
                     y_best=float(yb[task]),
                     feasibility=_feasibility_or_none(self.problem, data.tasks[task]),
                 )
                 if penalize and extra:
                     acq = PenalizedAcquisition(
                         acq,
-                        np.vstack(list(pend_units[task].values())),
+                        np.vstack([u for (u, _) in pend_units[task].values()]),
                         opts.penalty_radius,
                     )
                 pso = ParticleSwarm(
@@ -1173,9 +1275,129 @@ class GPTune:
         stats["search_time"] += time.perf_counter() - t0
         return cfg
 
+    def _propose_async_multi(
+        self,
+        data: TuningData,
+        task: int,
+        bundle,
+        pend_units: List[Dict[tuple, Tuple[np.ndarray, Dict[str, Any]]]],
+        stats,
+        mo_buf: Dict[int, List[np.ndarray]],
+    ) -> Optional[Dict[str, Any]]:
+        """One streaming multi-objective proposal for ``task`` (γ > 1).
+
+        Per-objective LCB rows feed the per-task NSGA-II exactly as in the
+        lockstep Algorithm 2, with the in-flight set discounted per
+        objective: ``"cl"`` extends a copy of each objective's posterior
+        with that objective's incumbent lies at every pending point;
+        ``"lp"`` shrinks each objective's predicted improvement via
+        :func:`~repro.core.search.penalty.penalize_lcb` (the multiplicative
+        EI penalty is meaningless for a signed, minimized LCB).  One run
+        buffers up to ``pareto_batch`` crowding-selected candidates in
+        ``mo_buf`` — subsequent slots for the same task within one fill
+        round pop the buffer instead of re-running the search.
+        """
+        if bundle is None:
+            return None
+        models, _transforms, ybests = bundle
+        space = data.tuning_space
+        opts = self.options
+        gamma = data.n_objectives
+        t0 = time.perf_counter()
+        with maybe_span("phase.search", algo="nsga2", mode="async", task=task):
+            rng = np.random.default_rng(self._child_seed())
+            extra = set(pend_units[task])
+            if any(m is None for m in models):  # degraded: random search
+                cand = sample_feasible(space, 1, rng, extra=data.tasks[task])[0]
+                cfg = self._dedup(data, task, cand, rng, extra=extra)
+                stats["search_time"] += time.perf_counter() - t0
+                return cfg
+            cands = mo_buf.get(task)
+            if not cands:
+                acq_models, lp_flags = [], []
+                P, tix = (
+                    self._pending_matrix(data, pend_units, None)
+                    if opts.pending_penalty == "cl"
+                    else (None, None)
+                )
+                for s in range(gamma):
+                    m = models[s]
+                    lp = opts.pending_penalty == "lp"
+                    if opts.pending_penalty == "cl" and P is not None:
+                        yb = ybests[s]
+                        finite = yb[np.isfinite(yb)]
+                        fallback_lie = float(finite.max()) if finite.size else 0.0
+                        lies = np.array(
+                            [
+                                yb[i] if np.isfinite(yb[i]) else fallback_lie
+                                for i in tix
+                            ]
+                        )
+                        liar = constant_liar(m, P, tix, lies)
+                        if liar is not None:
+                            m = liar
+                        else:
+                            lp = True
+                    acq_models.append(m)
+                    lp_flags.append(lp)
+                pend_task = (
+                    np.vstack([u for (u, _) in pend_units[task].values()])
+                    if pend_units[task]
+                    else None
+                )
+                feasible = _feasibility_or_none(self.problem, data.tasks[task])
+                ybt = [float(ybests[s][task]) for s in range(gamma)]
+
+                def obj(X: np.ndarray) -> np.ndarray:
+                    X = np.atleast_2d(X)
+                    cols = []
+                    for s in range(gamma):
+                        mu, var = acq_models[s].predict(task, X)
+                        lcb = mu - np.sqrt(var)
+                        if lp_flags[s] and pend_task is not None:
+                            lcb = penalize_lcb(
+                                lcb, X, pend_task, opts.penalty_radius, ybt[s]
+                            )
+                        cols.append(lcb)
+                    F = np.column_stack(cols)
+                    if feasible is not None:
+                        F[~np.asarray(feasible(X), dtype=bool)] = np.inf
+                    return F
+
+                nsga = NSGA2(
+                    dim=space.dimension,
+                    pop_size=opts.nsga_pop,
+                    generations=opts.nsga_gens,
+                    seed=int(rng.integers(2**31)),
+                    label=f"task {task}",
+                )
+                Xf, Ff = nsga.minimize(obj, x0=self._pareto_seeds(data, task))
+                cands = list(
+                    self._pick_k(Xf, Ff, opts.pareto_batch, pool=nsga.population)
+                )
+                mo_buf[task] = cands
+            seen = data.seen_keys(task)
+            picked = None
+            while cands:
+                u = cands.pop(0)
+                cand = space.denormalize(u)
+                picked = cand
+                key = tuple(np.round(space.normalize(cand), 9))
+                if key not in seen and key not in extra:
+                    break
+            if picked is None:  # exhausted buffer of stale picks
+                picked = sample_feasible(space, 1, rng, extra=data.tasks[task])[0]
+            cfg = self._dedup(data, task, picked, rng, extra=extra)
+        stats["search_time"] += time.perf_counter() - t0
+        return cfg
+
     # -- single-objective iteration (Algorithm 1) ------------------------------
     def _fit_models(
-        self, data: TuningData, stats, featurizer: Optional[ModelFeaturizer]
+        self,
+        data: TuningData,
+        stats,
+        featurizer: Optional[ModelFeaturizer],
+        feat_extend: bool = False,
     ) -> Tuple[List[LCM], List[_YTransform], List[np.ndarray]]:
         """Model-update + modeling phases; returns per-objective surrogates.
 
@@ -1184,43 +1406,62 @@ class GPTune:
         (O(N²·n_new), no L-BFGS) instead of refitting; every k-th phase (and
         any phase where extension is impossible) runs a full fit, warm-started
         from the previous optimum when ``options.refit_warm_start`` is on.
+
+        ``feat_extend`` opts model-enriched campaigns into the extension
+        path: only valid when ``featurizer`` is a *persistent* instance
+        whose hyperparameters/normalization the caller freezes between full
+        fits (the async loop), never for the per-iteration throwaway
+        featurizer of the lockstep loop, whose re-estimated features would
+        silently change the units the posterior was fitted in.
         """
         with maybe_span("phase.modeling", n=data.n_samples()):
-            return self._fit_models_impl(data, stats, featurizer)
+            return self._fit_models_impl(data, stats, featurizer, feat_extend)
 
     def _fit_models_impl(
-        self, data: TuningData, stats, featurizer: Optional[ModelFeaturizer]
+        self,
+        data: TuningData,
+        stats,
+        featurizer: Optional[ModelFeaturizer],
+        feat_extend: bool = False,
     ) -> Tuple[List[LCM], List[_YTransform], List[np.ndarray]]:
         """Body of :meth:`_fit_models` (split out for phase-span scoping)."""
         t0 = time.perf_counter()
         gamma = data.n_objectives
         X, _, tidx = data.stacked(0)
+        counts = [data.n_samples(i) for i in range(data.n_tasks)]
+        extend_phase = (
+            self.options.refit_interval > 1
+            and self._fit_iter % self.options.refit_interval != 0
+            and (featurizer is None or feat_extend)
+        )
 
         if featurizer is not None:
-            tasks_flat = [data.tasks[i] for i in tidx]
-            cfgs_flat = [x for xs in data.X for x in xs]
-            y0 = np.array([data.Y[i][j][0] for i in range(data.n_tasks) for j in range(len(data.Y[i]))])
-            featurizer.update_hyperparameters(tasks_flat, cfgs_flat, y0)
-            raw = np.vstack(
-                [featurizer.raw(t, c) for t, c in zip(tasks_flat, cfgs_flat)]
+            # Extend phases must feed the posterior rows in the units it was
+            # fitted in, so the featurizer is frozen (no hyperparameter
+            # update, no normalization-range growth) whenever every
+            # objective still has a warm posterior to extend.
+            update = not (
+                extend_phase and all(s in self._warm_state for s in range(gamma))
             )
-            featurizer.observe(raw)
+            if update:
+                extend_phase = False
+                tasks_flat = [data.tasks[i] for i in tidx]
+                cfgs_flat = [x for xs in data.X for x in xs]
+                y0 = np.array([data.Y[i][j][0] for i in range(data.n_tasks) for j in range(len(data.Y[i]))])
+                featurizer.update_hyperparameters(tasks_flat, cfgs_flat, y0)
+            raw = self._feat_rows(data, featurizer)
+            if update:
+                featurizer.observe(raw)
             X = np.hstack([X, featurizer.scale(raw)])
 
         models, transforms, ybests = [], [], []
         executor = self._get_executor() if self.options.model_restarts_parallel else None
         fingerprints = self._fingerprints(data)
-        counts = [data.n_samples(i) for i in range(data.n_tasks)]
-        extend_phase = (
-            featurizer is None
-            and self.options.refit_interval > 1
-            and self._fit_iter % self.options.refit_interval != 0
-        )
         for s in range(gamma):
             _, ys, _ = data.stacked(s)
             model = tr = None
             if extend_phase:
-                model = self._extend_surrogate(data, s, counts)
+                model = self._extend_surrogate(data, s, counts, featurizer)
             if model is not None:
                 tr = self._warm_state[s]["transform"]
                 yt = tr.transform(ys)
@@ -1228,11 +1469,14 @@ class GPTune:
                 tr = _YTransform(self.options.y_transform)
                 yt = tr.fit(ys)
                 model = self._fit_surrogate(data, X, yt, tidx, executor, s, fingerprints)
-                if featurizer is None and isinstance(model, (LCM, SparseLCM)):
+                if (featurizer is None or feat_extend) and isinstance(
+                    model, (LCM, SparseLCM)
+                ):
                     self._warm_state[s] = {
                         "model": model,
                         "transform": tr,
                         "counts": list(counts),
+                        "chunks": [list(counts)],
                     }
                 else:
                     self._warm_state.pop(s, None)
@@ -1248,32 +1492,79 @@ class GPTune:
         stats["modeling_time"] += time.perf_counter() - t0
         return models, transforms, ybests
 
+    def _feat_rows(self, data: TuningData, featurizer: ModelFeaturizer) -> np.ndarray:
+        """Raw model-feature rows for every sample, cached incrementally.
+
+        Model predictions depend only on the models' hyperparameters, so as
+        long as the featurizer's :meth:`~ModelFeaturizer.state_token` is
+        unchanged, rows computed in earlier phases stay valid and only the
+        new samples cost a prediction — O(n_new) per refit instead of O(n),
+        mirroring the ``_fingerprints`` cache.  A token change (or a model
+        that cannot vouch for one) recomputes everything.
+        """
+        token = featurizer.state_token()
+        st = self._feat_state
+        if (
+            token is None
+            or st is None
+            or st["data"] is not data
+            or st["token"] != token
+        ):
+            st = {
+                "data": data,
+                "counts": [0] * data.n_tasks,
+                "rows": [[] for _ in range(data.n_tasks)],
+                "token": token,
+            }
+            self._feat_state = st if token is not None else None
+        for i in range(data.n_tasks):
+            for k in range(st["counts"][i], data.n_samples(i)):
+                st["rows"][i].append(featurizer.raw(data.tasks[i], data.X[i][k]))
+            st["counts"][i] = data.n_samples(i)
+        rows = [r for rs in st["rows"] for r in rs]
+        if not rows:
+            return np.empty((0, featurizer.n_features))
+        return np.vstack(rows)
+
     def _extend_surrogate(
-        self, data: TuningData, objective: int, counts: Sequence[int]
+        self,
+        data: TuningData,
+        objective: int,
+        counts: Sequence[int],
+        featurizer: Optional[ModelFeaturizer] = None,
     ) -> Optional[LCM]:
         """Extend the previous iteration's posterior with the new rows.
 
-        Returns the extended LCM, or ``None`` when extension is impossible
-        (no previous fit, or the update fails numerically) — the caller then
-        falls back to a full refit.
+        With a (frozen) ``featurizer``, new rows are enriched with the model
+        features before extension so they match the units the posterior was
+        fitted in.  Returns the extended LCM, or ``None`` when extension is
+        impossible (no previous fit, or the update fails numerically) — the
+        caller then falls back to a full refit.
         """
         st = self._warm_state.get(objective)
         if st is None:
             return None
         model: LCM = st["model"]
         prev = st["counts"]
-        rows, ys, tix = [], [], []
+        space = data.tuning_space
+        blocks, ys, tix, n_new = [], [], [], 0
         for i in range(data.n_tasks):
-            for k in range(prev[i], counts[i]):
-                rows.append(data.tuning_space.normalize(data.X[i][k]))
-                ys.append(data.Y[i][k][objective])
-                tix.append(i)
-        if rows and np.vstack(rows).shape[1] != model.params.beta:
+            if counts[i] <= prev[i]:
+                continue
+            cfgs = [data.X[i][k] for k in range(prev[i], counts[i])]
+            units = np.vstack([space.normalize(c) for c in cfgs])
+            if featurizer is not None:
+                units = featurizer.enrich(data.tasks[i], cfgs, units, observe=False)
+            blocks.append(units)
+            ys.extend(data.Y[i][k][objective] for k in range(prev[i], counts[i]))
+            tix.extend([i] * len(cfgs))
+            n_new += len(cfgs)
+        if blocks and np.vstack(blocks).shape[1] != model.params.beta:
             return None
         try:
-            if rows:
+            if blocks:
                 yt_new = st["transform"].transform(np.asarray(ys, dtype=float))
-                model.extend(np.vstack(rows), yt_new, np.asarray(tix, dtype=int))
+                model.extend(np.vstack(blocks), yt_new, np.asarray(tix, dtype=int))
         except Exception as e:
             self.events.record(
                 "model-downgrade",
@@ -1282,11 +1573,162 @@ class GPTune:
             )
             return None
         st["counts"] = list(counts)
+        if blocks and "chunks" in st:
+            # checkpointed so a resume can replay the *same* chunked extends
+            # (one big extend is not bitwise equal to the chunked sequence)
+            st["chunks"].append(list(counts))
         self.events.record(
             "model-extend",
-            f"objective {objective}: n_new={len(rows)} n={model.y.shape[0]} n_starts=0",
+            f"objective {objective}: n_new={n_new} n={model.y.shape[0]} n_starts=0",
         )
         return model
+
+    def _modeling_snapshot(
+        self, featurizer: Optional[ModelFeaturizer]
+    ) -> Optional[Dict[str, Any]]:
+        """Posterior-extension state for :class:`RunCheckpoint.modeling`.
+
+        Captures what a resumed campaign cannot rederive from the data
+        alone: the refit-cadence position (``fit_iter``), each objective's
+        warm posterior (θ of the last full fit, its frozen output transform,
+        and the per-extend chunk boundaries — replaying the same chunk
+        sequence is what makes the rebuilt Cholesky bitwise identical), and
+        the featurizer's hyperparameter/normalization state.  ``None`` when
+        there is nothing to carry (single-interval refits without models),
+        which keeps the checkpoint at schema version 1.
+        """
+        if self.options.refit_interval <= 1 and featurizer is None:
+            return None
+        warm: Dict[str, Any] = {}
+        for s, st in self._warm_state.items():
+            model = st.get("model")
+            if type(model) is not LCM or model.theta is None or "chunks" not in st:
+                continue  # sparse/GP fallbacks refit from scratch on resume
+            tr: _YTransform = st["transform"]
+            warm[str(s)] = {
+                "theta": [float(v) for v in np.asarray(model.theta).ravel()],
+                "transform": {
+                    "kind": tr.kind,
+                    "mean": float(tr.mean),
+                    "std": float(tr.std),
+                },
+                "chunks": [[int(c) for c in chunk] for chunk in st["chunks"]],
+            }
+        snap: Dict[str, Any] = {"fit_iter": int(self._fit_iter), "warm": warm}
+        if featurizer is not None:
+            snap["featurizer"] = featurizer.get_state()
+        return snap
+
+    def _restore_modeling_state(
+        self,
+        snap: Optional[Dict[str, Any]],
+        data: TuningData,
+        featurizer: Optional[ModelFeaturizer],
+    ) -> None:
+        """Rebuild ``_fit_iter``/``_warm_state``/featurizer from a checkpoint.
+
+        Every failure degrades to a cold start for that piece (a full refit
+        on the next modeling phase) with a ``"model-downgrade"`` event —
+        resuming must never be worse than starting the modeling over.
+        """
+        if not snap:
+            return
+        self._fit_iter = int(snap.get("fit_iter", 0))
+        if featurizer is not None and snap.get("featurizer") is not None:
+            try:
+                featurizer.set_state(snap["featurizer"])
+            except Exception as e:
+                self.events.record(
+                    "model-downgrade",
+                    "featurizer state restore failed, re-estimating "
+                    f"({type(e).__name__}: {e})",
+                )
+        for key, w in snap.get("warm", {}).items():
+            s = int(key)
+            try:
+                st = self._rebuild_warm_state(s, w, data, featurizer)
+            except Exception as e:
+                st = None
+                self.events.record(
+                    "model-downgrade",
+                    f"objective {s}: warm-posterior rebuild failed, will refit "
+                    f"({type(e).__name__}: {e})",
+                )
+            if st is not None:
+                self._warm_state[s] = st
+            else:
+                self._warm_state.pop(s, None)
+
+    def _rebuild_warm_state(
+        self,
+        objective: int,
+        w: Mapping[str, Any],
+        data: TuningData,
+        featurizer: Optional[ModelFeaturizer],
+    ) -> Optional[Dict[str, Any]]:
+        """Reconstruct one objective's warm posterior from checkpoint state.
+
+        The base chunk is refactorized at the checkpointed θ via
+        :meth:`LCM.refit_at` (one ``_nll_and_grad`` evaluation — the same
+        code path the original fit's winning restart ended on), then each
+        subsequent chunk is replayed through :meth:`LCM.extend` exactly as
+        the original campaign applied it.  Returns ``None`` when the
+        checkpoint holds no usable rows.
+        """
+        chunks = [list(map(int, c)) for c in w["chunks"]]
+        if not chunks or not any(chunks[-1]):
+            return None
+        tr = _YTransform(str(w["transform"]["kind"]))
+        tr.mean = float(w["transform"]["mean"])
+        tr.std = float(w["transform"]["std"])
+        space = data.tuning_space
+
+        def stack(prev: Sequence[int], cur: Sequence[int]):
+            blocks, ys, tix = [], [], []
+            for i in range(data.n_tasks):
+                if cur[i] <= prev[i]:
+                    continue
+                cfgs = [data.X[i][k] for k in range(prev[i], cur[i])]
+                units = np.vstack([space.normalize(c) for c in cfgs])
+                if featurizer is not None:
+                    units = featurizer.enrich(
+                        data.tasks[i], cfgs, units, observe=False
+                    )
+                blocks.append(units)
+                ys.extend(data.Y[i][k][objective] for k in range(prev[i], cur[i]))
+                tix.extend([i] * len(cfgs))
+            if not blocks:
+                return None, None, None
+            return (
+                np.vstack(blocks),
+                np.asarray(ys, dtype=float),
+                np.asarray(tix, dtype=int),
+            )
+
+        X0, y0, t0_ = stack([0] * data.n_tasks, chunks[0])
+        if X0 is None:
+            return None
+        model = LCM(
+            data.n_tasks,
+            X0.shape[1],
+            self.options.n_latent or min(data.n_tasks, 3),
+            jitter=self.options.jitter,
+            n_start=1,
+            maxiter=self.options.lbfgs_maxiter,
+            seed=0,  # rng unused by refit_at/extend; must not consume a seed-tree child
+            chol_ranks=self.options.chol_ranks,
+        )
+        model.refit_at(X0, tr.transform(y0), t0_, np.asarray(w["theta"], dtype=float))
+        for prev, cur in zip(chunks, chunks[1:]):
+            Xn, yn, tn = stack(prev, cur)
+            if Xn is not None:
+                model.extend(Xn, tr.transform(yn), tn)
+        return {
+            "model": model,
+            "transform": tr,
+            "counts": list(chunks[-1]),
+            "chunks": [list(c) for c in chunks],
+        }
 
     def _fit_surrogate(
         self, data: TuningData, X, yt, tidx, executor, objective: int, fingerprints=None

@@ -63,13 +63,31 @@ class Options:
         the search proposes continuously against the freshest posterior
         with a ``pending_penalty`` so in-flight configurations are never
         re-proposed.  One straggling evaluation no longer stalls the other
-        tasks.  Requires γ = 1 and no performance models; otherwise the
-        driver falls back to lockstep with an ``"async-fallback"`` event.
-        Lockstep (the default) remains the degradation target — see
-        ``docs/ASYNC.md`` for the ordering/determinism contract.
+        tasks.  Covers single- and multi-objective campaigns, with or
+        without performance models; the one remaining unsupported shape
+        (multi-objective *combined with* performance models) raises at
+        campaign start unless ``allow_async_fallback=True`` explicitly
+        requests the old silent lockstep demotion.  See ``docs/ASYNC.md``
+        for the coverage matrix and the ordering/determinism contract.
     max_inflight:
         Cap on concurrently outstanding evaluations in async mode.
         ``None`` → ``max(2, n_workers)``.
+    async_refit_secs:
+        Minimum seconds between modeling phases in async mode (the
+        periodic-refit cadence).  By default the async driver refits or
+        extends the posterior before every proposal round; at very high
+        completion rates that makes modeling the bottleneck.  With this
+        set, drained completions are still absorbed into the dataset
+        immediately, but the posterior is only refreshed once the interval
+        has elapsed since the last modeling phase (the first fit always
+        runs).  Under :class:`~repro.runtime.async_engine.SimScheduler`
+        the interval is measured on the virtual clock, so campaigns stay
+        deterministic.  Requires ``async_eval=True``.
+    allow_async_fallback:
+        Escape hatch restoring the pre-hard-error behavior: when
+        ``async_eval=True`` meets a campaign shape the streaming loop does
+        not support, run lockstep and record an ``"async-fallback"`` event
+        instead of raising ``ValueError``.  Requires ``async_eval=True``.
     pending_penalty:
         How async proposals avoid in-flight points: ``"cl"`` (constant
         liar — the posterior copy is extended with incumbent-valued lies at
@@ -181,8 +199,10 @@ class Options:
         (:meth:`repro.core.lcm.LCM.extend`) — no L-BFGS at all, recorded as
         a ``"model-extend"`` event.  1 (default) refits every iteration;
         larger values trade hyperparameter freshness for modeling time.
-        Iterations with performance models attached always refit (the
-        enriched inputs change wholesale).
+        Lockstep iterations with performance models attached always refit
+        (the per-iteration featurizer re-estimates the enriched inputs
+        wholesale); async campaigns keep one persistent featurizer, frozen
+        during extend phases, so model-enriched campaigns extend too.
     telemetry:
         Record timestamped phase/model/backoff spans into the campaign log
         while tuning (see :mod:`repro.observability.spans`): the four driver
@@ -212,6 +232,8 @@ class Options:
     n_workers: int = 2
     async_eval: bool = False
     max_inflight: Optional[int] = None
+    async_refit_secs: Optional[float] = None
+    allow_async_fallback: bool = False
     pending_penalty: str = "cl"
     penalty_radius: float = 0.15
     search_batched: bool = True
@@ -273,6 +295,13 @@ class Options:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.max_inflight is not None and self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.async_refit_secs is not None:
+            if self.async_refit_secs <= 0:
+                raise ValueError("async_refit_secs must be positive")
+            if not self.async_eval:
+                raise ValueError("async_refit_secs requires async_eval=True")
+        if self.allow_async_fallback and not self.async_eval:
+            raise ValueError("allow_async_fallback requires async_eval=True")
         if self.pending_penalty not in ("cl", "lp", "none"):
             raise ValueError(f"unknown pending_penalty {self.pending_penalty!r}")
         if self.penalty_radius <= 0:

@@ -44,6 +44,24 @@ class PerformanceModel:
         Default: nothing to fit.
         """
 
+    def state_token(self) -> Optional[Any]:
+        """Hashable token identifying the current hyperparameter state.
+
+        Cached per-sample predictions made under one token stay valid as
+        long as the token is unchanged; ``None`` (the default) means the
+        model cannot vouch for its own statelessness, so callers must
+        recompute predictions every phase.  Models whose :meth:`update` is
+        a no-op should return a constant.
+        """
+        return None
+
+    def get_state(self) -> Optional[Any]:
+        """JSON-serializable hyperparameter state, or ``None`` if stateless."""
+        return None
+
+    def set_state(self, state: Any) -> None:
+        """Restore hyperparameters written by :meth:`get_state`."""
+
 
 class CallableModel(PerformanceModel):
     """Adapter wrapping a plain function ``(task, config) -> float``."""
@@ -53,6 +71,9 @@ class CallableModel(PerformanceModel):
 
     def predict(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> float:
         return float(self.fn(task, config))
+
+    def state_token(self) -> Optional[Any]:
+        return ()  # no hyperparameters; predictions never go stale
 
 
 class LinearPerformanceModel(PerformanceModel):
@@ -109,6 +130,24 @@ class LinearPerformanceModel(PerformanceModel):
         coef, _ = optimize.nnls(Phi / scale, y)
         self.coefficients = coef / scale
         self.n_updates += 1
+
+    def state_token(self) -> Optional[Any]:
+        # the coefficients alone: an update that converged to the same
+        # values leaves cached predictions valid
+        return (self.coefficients.tobytes(),)
+
+    def get_state(self) -> Optional[Any]:
+        return {
+            "coefficients": [float(c) for c in self.coefficients],
+            "n_updates": int(self.n_updates),
+        }
+
+    def set_state(self, state: Any) -> None:
+        coef = np.asarray(state["coefficients"], dtype=float)
+        if coef.shape != (len(self.features),):
+            raise ValueError("coefficient/feature length mismatch in state")
+        self.coefficients = coef
+        self.n_updates = int(state["n_updates"])
 
 
 class ModelFeaturizer:
@@ -186,3 +225,39 @@ class ModelFeaturizer:
         if observe:
             self.observe(raw)
         return np.hstack([Xunit, self.scale(raw)])
+
+    def state_token(self) -> Optional[Any]:
+        """Combined token over every model's hyperparameter state.
+
+        The running normalization range is deliberately excluded: cached
+        *raw* rows depend only on the models' coefficients (scaling is
+        applied after caching).  ``None`` when any model cannot produce a
+        token — cached raw rows are then invalid as soon as a model-update
+        phase ran.
+        """
+        parts = []
+        for m in self.models:
+            t = m.state_token()
+            if t is None:
+                return None
+            parts.append(t)
+        return tuple(parts)
+
+    def get_state(self) -> Any:
+        """JSON-serializable snapshot of the running range + model states."""
+        return {
+            "lo": [float(v) for v in self._lo],
+            "hi": [float(v) for v in self._hi],
+            "models": [m.get_state() for m in self.models],
+        }
+
+    def set_state(self, state: Any) -> None:
+        """Restore a :meth:`get_state` snapshot onto the same model list."""
+        lo = np.asarray(state["lo"], dtype=float)
+        hi = np.asarray(state["hi"], dtype=float)
+        if lo.shape != self._lo.shape or hi.shape != self._hi.shape:
+            raise ValueError("featurizer state has a different model count")
+        self._lo, self._hi = lo, hi
+        for m, s in zip(self.models, state["models"]):
+            if s is not None:
+                m.set_state(s)

@@ -32,7 +32,12 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["PenalizedAcquisition", "constant_liar", "local_penalty"]
+__all__ = [
+    "PenalizedAcquisition",
+    "constant_liar",
+    "local_penalty",
+    "penalize_lcb",
+]
 
 
 def local_penalty(Xunit: np.ndarray, pending: Any, radius: float) -> np.ndarray:
@@ -92,6 +97,54 @@ class PenalizedAcquisition:
         out = values.copy()
         out[mask] = values[mask] * pen[mask]  # masked: -inf * 0 never happens
         return out
+
+
+def penalize_lcb(
+    lcb: np.ndarray,
+    Xunit: np.ndarray,
+    pending: Any,
+    radius: float,
+    incumbent: float,
+) -> np.ndarray:
+    """Apply the local pending-point penalty to a *minimized* LCB surface.
+
+    :class:`PenalizedAcquisition` multiplies a maximized, non-negative
+    acquisition (EI) by the :func:`local_penalty` factor — that device is
+    meaningless for a lower confidence bound, which is minimized and signed.
+    The equivalent transform shrinks the *predicted improvement* over the
+    incumbent instead: where ``lcb < incumbent`` the apparent gain
+    ``incumbent - lcb`` is scaled by the penalty factor, so a candidate
+    sitting on a pending point (factor 0) looks exactly as good as the
+    incumbent and no better, while candidates outside the penalization
+    radius (factor 1) are bit-identical to the unpenalized surface.  Values
+    at or above the incumbent pass through untouched, as do non-finite
+    sentinels.
+
+    Parameters
+    ----------
+    lcb:
+        Lower-confidence-bound values ``(n,)`` for one objective, smaller
+        is better (already in the surrogate's transformed units).
+    Xunit:
+        The candidates ``(n, dim)`` the values were computed at.
+    pending:
+        Pending points ``(m, dim)`` for the same task; empty → no-op.
+    radius:
+        Penalization radius (see :func:`local_penalty`).
+    incumbent:
+        The task's best observed value *for this objective* in the same
+        transformed units; non-finite incumbents disable the penalty (no
+        meaningful improvement baseline exists yet).
+    """
+    values = np.asarray(lcb, dtype=float)
+    P = np.asarray(pending, dtype=float)
+    if P.size == 0 or not np.isfinite(incumbent):
+        return values
+    pen = local_penalty(Xunit, P, radius)
+    out = values.copy()
+    mask = np.isfinite(values) & (values < incumbent)
+    out[mask] = incumbent - (incumbent - values[mask]) * pen[mask]
+    return out
 
 
 def constant_liar(

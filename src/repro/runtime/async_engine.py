@@ -31,6 +31,10 @@ supports checkpointing in-flight evaluations with their *remaining* virtual
 duration (``eta``), so a campaign killed mid-flight and resumed reproduces
 the uninterrupted run bit-for-bit; shuffling completion order within a drain
 batch cannot change anything because the engine re-sorts by sequence id.
+The driver pairs this with the checkpoint's posterior-extension snapshot
+(:class:`~repro.runtime.resilience.RunCheckpoint` ``modeling``), so the
+bit-for-bit guarantee holds for every streaming shape — multi-objective,
+performance models, ``refit_interval > 1``.
 
 Like :mod:`repro.runtime.resilience`, this module imports nothing from
 :mod:`repro.core` so the core layers can depend on it without cycles.

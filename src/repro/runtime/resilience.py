@@ -391,6 +391,23 @@ class RunCheckpoint:
     executors).  Resuming resubmits them first, preserving the original
     completion schedule.  Lockstep resume refuses a checkpoint with pending
     evaluations — they would be silently lost.
+
+    ``modeling`` (version 2) snapshots the posterior-*extension* warm state
+    so campaigns running ``Options(refit_interval > 1)`` resume
+    bit-identically: the modeling-phase counter (``fit_iter``) plus, per
+    objective, the winning hyperparameter vector (``theta``), the fitted
+    y-transform, and the per-extend chunk boundaries (``chunks`` — per-task
+    row counts after the base fit and after each extension, replayed
+    verbatim on resume because chunked Cholesky updates are not bitwise
+    equal to one combined update), and — when the campaign enriches inputs
+    with performance models — the featurizer's running normalization range
+    and model hyperparameters.  ``None`` (and every version-1 checkpoint)
+    means "no warm state": resume refits from scratch, which is correct but
+    only bit-identical when ``refit_interval == 1``.
+
+    The ``version`` field is derived, not caller-set: a checkpoint carrying
+    ``modeling`` is version 2; one without is version 1, byte-compatible
+    with readers that predate the field.
     """
 
     problem: str
@@ -404,11 +421,21 @@ class RunCheckpoint:
     X: List[List[Dict[str, Any]]]
     Y: List[List[List[float]]]
     pending: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    modeling: Optional[Dict[str, Any]] = None
     version: int = 1
 
+    def __post_init__(self) -> None:
+        self.version = 2 if self.modeling is not None else 1
+
     def save(self, path: str) -> None:
-        """Persist atomically as JSON (see :func:`atomic_write_json`)."""
-        atomic_write_json(path, dataclasses.asdict(self))
+        """Persist atomically as JSON (see :func:`atomic_write_json`).
+
+        Checkpoints without modeling warm state are written as version 1 —
+        byte-compatible with readers that predate the ``modeling`` field."""
+        obj = dataclasses.asdict(self)
+        if self.modeling is None:
+            del obj["modeling"]
+        atomic_write_json(path, obj)
 
     @classmethod
     def load(cls, path: str) -> "RunCheckpoint":
@@ -431,9 +458,11 @@ class RunCheckpoint:
         missing = required - set(raw)
         if missing:
             raise ValueError(f"{path}: checkpoint missing fields {sorted(missing)}")
+        if int(raw.get("version", 1)) not in (1, 2):
+            raise ValueError(
+                f"{path}: unsupported checkpoint version {raw['version']}"
+            )
         ck = cls(**{k: raw[k] for k in names if k in raw})
-        if int(ck.version) != 1:
-            raise ValueError(f"{path}: unsupported checkpoint version {ck.version}")
         if len(ck.X) != len(ck.tasks) or len(ck.Y) != len(ck.tasks):
             raise ValueError(f"{path}: checkpoint X/Y do not match its task list")
         return ck

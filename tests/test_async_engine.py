@@ -367,7 +367,9 @@ class TestStragglerCampaign:
         start = res.events.of_kind("async-start")[0]
         assert start.fields["scheduler"] == "SerialScheduler"
 
-    def test_multiobjective_falls_back_to_lockstep(self):
+    def test_multiobjective_streams(self):
+        # γ > 1 used to silently fall back to lockstep; it now streams
+        # through the per-task NSGA-II path
         problem = TuningProblem(
             Space([Integer("t", 0, 10)]),
             Space([Real("x", 0.0, 1.0)]),
@@ -375,6 +377,36 @@ class TestStragglerCampaign:
             n_objectives=2,
         )
         res = GPTune(problem, _options()).tune([{"t": 1}], 6)
-        assert len(res.events.of_kind("async-fallback")) == 1
+        assert len(res.events.of_kind("async-fallback")) == 0
+        assert len(res.events.of_kind("async-start")) == 1
+        assert res.data.n_samples(0) >= 6
+        _assert_no_duplicates(res)
+
+    def test_perf_model_campaign_streams(self):
+        # performance models used to force lockstep; enrichment is now
+        # threaded through the async fit/extend path
+        problem = _problem(models=[lambda t, c: float(t["t"]) * float(c["x"])])
+        res = GPTune(problem, _options()).tune(TASKS, 6)
+        assert len(res.events.of_kind("async-fallback")) == 0
+        assert len(res.events.of_kind("async-start")) == 1
+        for i in range(len(TASKS)):
+            assert res.data.n_samples(i) == 6
+        _assert_no_duplicates(res)
+
+    def test_unsupported_combo_raises_without_escape_hatch(self):
+        # the one remaining unsupported shape (γ > 1 + models) must fail
+        # fast, not silently demote to lockstep
+        problem = TuningProblem(
+            Space([Integer("t", 0, 10)]),
+            Space([Real("x", 0.0, 1.0)]),
+            lambda t, c: [c["x"], 1.0 - c["x"]],
+            n_objectives=2,
+            models=[lambda t, c: float(c["x"])],
+        )
+        with pytest.raises(ValueError, match="allow_async_fallback"):
+            GPTune(problem, _options()).tune([{"t": 1}], 6)
+        res = GPTune(problem, _options(allow_async_fallback=True)).tune([{"t": 1}], 6)
+        ev = res.events.of_kind("async-fallback")
+        assert len(ev) == 1 and "reason" in ev[0].fields
         assert len(res.events.of_kind("async-start")) == 0
         assert res.data.n_samples(0) >= 6  # lockstep multi-objective batches

@@ -202,6 +202,203 @@ class TestAsyncKillResume:
         with pytest.raises(ValueError, match="in-flight"):
             GPTune(_problem(), _options()).resume(path)
 
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kill_and_resume_with_refit_interval(self, tmp_path, k):
+        """Posterior-extension campaigns resume bit-identically: the
+        checkpoint carries each objective's warm θ/transform and the chunk
+        boundaries of every extend applied since the last full fit."""
+        ref = _async_run(refit_interval=3)
+        path = str(tmp_path / "async-ri.ck.json")
+        tuner = GPTune(
+            _problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(k))
+        ck = RunCheckpoint.load(path)
+        assert ck.version == 2 and ck.modeling is not None
+
+        fresh = GPTune(
+            _problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        _assert_same_data(ref, fresh.resume(path))
+
+    def test_resume_when_problem_stops_qualifying(self, tmp_path):
+        """An async-written checkpoint (pending non-empty) resumed after the
+        problem stopped qualifying for streaming names the real cause, not
+        the misleading lockstep in-flight error."""
+        path = str(tmp_path / "async-mo.ck.json")
+        tuner = GPTune(
+            _mo_problem(),
+            _async_options(checkpoint_path=path),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(2))
+        assert RunCheckpoint.load(path).pending
+        # same problem, now carrying performance models: γ > 1 + models is
+        # the one shape the streaming loop does not support
+        degraded = _mo_problem(models=[lambda t, c: float(c["x"])])
+        with pytest.raises(ValueError, match="no longer qualifies"):
+            GPTune(
+                degraded,
+                _async_options(),
+                scheduler=SimScheduler(_duration, clock=SimClock()),
+            ).resume(path)
+
+
+def _mo_objective(t, c):
+    x = float(c["x"])
+    return [
+        (x - 0.35) ** 2 + 0.05 * np.sin(8.0 * x) + 0.01 * float(t["t"]),
+        (x - 0.8) ** 2 + 0.02 * float(t["t"]),
+    ]
+
+
+def _mo_problem(models=None):
+    return TuningProblem(
+        Space([Integer("t", 0, 10)]),
+        Space([Real("x", 0.0, 1.0)]),
+        _mo_objective,
+        n_objectives=2,
+        models=models,
+    )
+
+
+def _mo_async_run(shuffle_seed=None, **kw):
+    sched = SimScheduler(_duration, clock=SimClock(), shuffle_seed=shuffle_seed)
+    return GPTune(_mo_problem(), _async_options(**kw), scheduler=sched).tune(
+        TASKS, BUDGET
+    )
+
+
+class TestAsyncMultiObjective:
+    """γ > 1 campaigns stream through the per-task NSGA-II path with the
+    same determinism guarantees as the single-objective EI path."""
+
+    @pytest.fixture(scope="class")
+    def mo_result(self):
+        return _mo_async_run()
+
+    def test_streams_not_falls_back(self, mo_result):
+        assert len(mo_result.events.of_kind("async-start")) == 1
+        assert len(mo_result.events.of_kind("async-fallback")) == 0
+
+    def test_same_seed_is_reproducible(self, mo_result):
+        _assert_same_data(mo_result, _mo_async_run())
+
+    def test_completion_order_shuffle_is_invisible(self, mo_result):
+        _assert_same_data(mo_result, _mo_async_run(shuffle_seed=123))
+        _assert_same_data(mo_result, _mo_async_run(shuffle_seed=987654321))
+
+    def test_exact_budget_no_duplicates(self, mo_result):
+        for i in range(len(TASKS)):
+            assert mo_result.data.n_samples(i) == BUDGET
+            keys = [tuple(sorted(d.items())) for d in mo_result.data.X[i]]
+            assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kill_and_resume_with_refit_interval(self, tmp_path, k):
+        ref = _mo_async_run(refit_interval=3)
+        path = str(tmp_path / "mo-async.ck.json")
+        tuner = GPTune(
+            _mo_problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(k))
+        fresh = GPTune(
+            _mo_problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        _assert_same_data(ref, fresh.resume(path))
+
+
+def _model_problem():
+    from repro.core.perfmodel import LinearPerformanceModel
+
+    return TuningProblem(
+        Space([Integer("t", 0, 10)]),
+        Space([Real("x", 0.0, 1.0)]),
+        _objective,
+        models=[
+            LinearPerformanceModel(
+                [lambda t, c: float(c["x"]), lambda t, c: 0.1 * float(t["t"]) + 0.1]
+            )
+        ],
+    )
+
+
+def _model_async_run(shuffle_seed=None, **kw):
+    sched = SimScheduler(_duration, clock=SimClock(), shuffle_seed=shuffle_seed)
+    return GPTune(_model_problem(), _async_options(**kw), scheduler=sched).tune(
+        TASKS, BUDGET
+    )
+
+
+class TestAsyncPerfModels:
+    """Model-enriched campaigns stream: one persistent featurizer enriches
+    training rows, candidates, and pending points, its state rides the
+    checkpoint, and it is frozen during posterior-extension phases."""
+
+    @pytest.fixture(scope="class")
+    def model_result(self):
+        return _model_async_run()
+
+    def test_streams_not_falls_back(self, model_result):
+        assert len(model_result.events.of_kind("async-start")) == 1
+        assert len(model_result.events.of_kind("async-fallback")) == 0
+
+    def test_same_seed_is_reproducible(self, model_result):
+        _assert_same_data(model_result, _model_async_run())
+
+    def test_completion_order_shuffle_is_invisible(self, model_result):
+        _assert_same_data(model_result, _model_async_run(shuffle_seed=4321))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_kill_and_resume_with_refit_interval(self, tmp_path, k):
+        """The hardest resume: featurizer hyperparameters + normalization
+        range AND the warm posterior must both come back bit-identical."""
+        ref = _model_async_run(refit_interval=3)
+        path = str(tmp_path / "model-async.ck.json")
+        tuner = GPTune(
+            _model_problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        with pytest.raises(_Kill):
+            tuner.tune(TASKS, BUDGET, callback=_kill_at(k))
+        ck = RunCheckpoint.load(path)
+        assert ck.modeling is not None and "featurizer" in ck.modeling
+        fresh = GPTune(
+            _model_problem(),
+            _async_options(checkpoint_path=path, refit_interval=3),
+            scheduler=SimScheduler(_duration, clock=SimClock()),
+        )
+        _assert_same_data(ref, fresh.resume(path))
+
+
+class TestAsyncRefitInterval:
+    def test_async_refit_secs_is_reproducible(self):
+        a = _async_run(async_refit_secs=4.0)
+        _assert_same_data(a, _async_run(async_refit_secs=4.0))
+        _assert_same_data(a, _async_run(async_refit_secs=4.0, shuffle_seed=99))
+
+    def test_async_refit_secs_skips_modeling_phases(self):
+        eager = _async_run()
+        lazy = _async_run(async_refit_secs=8.0)
+        n_fits = lambda r: len(r.events.of_kind("model-fit")) + len(
+            r.events.of_kind("model-extend")
+        )
+        assert n_fits(lazy) < n_fits(eager)
+        for i in range(len(TASKS)):
+            assert lazy.data.n_samples(i) == BUDGET
+
 
 class TestCliResume:
     def test_tune_then_resume_roundtrip(self, tmp_path, capsys):

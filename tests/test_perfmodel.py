@@ -89,3 +89,121 @@ class TestModelFeaturizer:
         y = np.array([3.0 * c["a"] for c in cfgs])
         f.update_hyperparameters([{}] * 5, cfgs, y)
         assert lin.coefficients[0] == pytest.approx(3.0, rel=1e-6)
+
+
+class TestModelState:
+    def test_callable_token_constant(self):
+        m = CallableModel(lambda t, c: c["x"])
+        assert m.state_token() == m.state_token() is not None
+
+    def test_linear_token_tracks_coefficients_only(self):
+        lin = LinearPerformanceModel([lambda t, c: c["a"]])
+        t0 = lin.state_token()
+        cfgs = [{"a": float(a)} for a in (0.5, 1.0, 1.5)]
+        lin.update([{}] * 3, cfgs, np.array([1.0, 2.0, 3.0]))
+        assert lin.state_token() != t0
+        # an update converging to identical coefficients keeps the token
+        lin.update([{}] * 3, cfgs, np.array([1.0, 2.0, 3.0]))
+        n = lin.n_updates
+        lin.update([{}] * 3, cfgs, np.array([1.0, 2.0, 3.0]))
+        assert lin.n_updates == n + 1
+        assert lin.state_token() == lin.state_token()
+
+    def test_linear_state_roundtrip(self):
+        lin = LinearPerformanceModel([lambda t, c: c["a"], lambda t, c: 1.0])
+        cfgs = [{"a": float(a)} for a in (0.2, 0.7, 1.3, 2.0)]
+        lin.update([{}] * 4, cfgs, np.array([0.5, 1.6, 2.7, 4.1]))
+        st = lin.get_state()
+        other = LinearPerformanceModel([lambda t, c: c["a"], lambda t, c: 1.0])
+        other.set_state(st)
+        np.testing.assert_array_equal(other.coefficients, lin.coefficients)
+        assert other.n_updates == lin.n_updates
+
+    def test_featurizer_state_roundtrip(self):
+        lin = LinearPerformanceModel([lambda t, c: c["x"]])
+        f = ModelFeaturizer([lin])
+        f.enrich({}, [{"x": 0.1}, {"x": 0.9}], np.zeros((2, 1)), observe=True)
+        st = f.get_state()
+        g = ModelFeaturizer([LinearPerformanceModel([lambda t, c: c["x"]])])
+        g.set_state(st)
+        np.testing.assert_array_equal(g._lo, f._lo)
+        np.testing.assert_array_equal(g._hi, f._hi)
+        X = np.array([[0.5]])
+        np.testing.assert_array_equal(
+            g.enrich({}, [{"x": 0.5}], X, observe=False),
+            f.enrich({}, [{"x": 0.5}], X, observe=False),
+        )
+
+    def test_featurizer_token_ignores_normalization_range(self):
+        f = ModelFeaturizer([CallableModel(lambda t, c: c["x"])])
+        t0 = f.state_token()
+        f.observe(np.array([[0.3], [0.9]]))
+        # raw rows don't depend on the running range, only on model state
+        assert f.state_token() == t0
+
+
+class TestIncrementalFeatRows:
+    """The driver's `_feat_rows` cache must equal a from-scratch rebuild."""
+
+    def _setup(self):
+        from repro.core import GPTune, Integer, Options, Real, Space, TuningProblem
+        from repro.core.data import TuningData
+
+        lin = LinearPerformanceModel([lambda t, c: float(c["x"]), lambda t, c: 1.0])
+        problem = TuningProblem(
+            Space([Integer("t", 0, 5)]),
+            Space([Real("x", 0.0, 1.0)]),
+            lambda t, c: (c["x"] - 0.4) ** 2,
+            models=[lin],
+        )
+        tuner = GPTune(problem, Options(seed=7))
+        data = TuningData(
+            problem.task_space, problem.tuning_space, [{"t": 1}, {"t": 3}]
+        )
+        featurizer = ModelFeaturizer(problem.models)
+        return tuner, data, featurizer, lin
+
+    @staticmethod
+    def _scratch(data, featurizer):
+        rows = [
+            featurizer.raw(data.tasks[i], data.X[i][k])
+            for i in range(data.n_tasks)
+            for k in range(data.n_samples(i))
+        ]
+        return np.vstack(rows) if rows else np.empty((0, featurizer.n_features))
+
+    def test_incremental_matches_from_scratch(self, rng):
+        tuner, data, featurizer, lin = self._setup()
+        for step in range(4):
+            for i in range(data.n_tasks):
+                for x in rng.random(3):
+                    data.add(i, {"x": float(x)}, float(x))
+            got = tuner._feat_rows(data, featurizer)
+            np.testing.assert_array_equal(got, self._scratch(data, featurizer))
+            # second call with no new data returns identical rows
+            np.testing.assert_array_equal(
+                tuner._feat_rows(data, featurizer), got
+            )
+
+    def test_cache_invalidated_on_model_update(self, rng):
+        tuner, data, featurizer, lin = self._setup()
+        for i in range(data.n_tasks):
+            for x in rng.random(4):
+                data.add(i, {"x": float(x)}, float(x))
+        tuner._feat_rows(data, featurizer)
+        cfgs = [x for xs in data.X for x in xs]
+        tasks = [data.tasks[i] for i in range(data.n_tasks) for _ in data.X[i]]
+        y = np.array([y[0] for ys in data.Y for y in ys])
+        featurizer.update_hyperparameters(tasks, cfgs, y)
+        got = tuner._feat_rows(data, featurizer)
+        np.testing.assert_array_equal(got, self._scratch(data, featurizer))
+
+    def test_cache_reset_on_new_campaign_data(self, rng):
+        tuner, data, featurizer, lin = self._setup()
+        for x in rng.random(3):
+            data.add(0, {"x": float(x)}, float(x))
+        tuner._feat_rows(data, featurizer)
+        _, data2, _, _ = self._setup()
+        data2.add(0, {"x": 0.5}, 0.5)
+        got = tuner._feat_rows(data2, featurizer)
+        np.testing.assert_array_equal(got, self._scratch(data2, featurizer))

@@ -6,6 +6,7 @@ under a fixed seed, checkpoint persistence, and the model degradation ladder
 (LCM → per-task GP → random search).
 """
 
+import dataclasses
 import os
 import signal
 import time
@@ -377,6 +378,60 @@ class TestCheckpointPersistence:
         ck.save(p)
         loaded = RunCheckpoint.load(p)
         assert loaded == ck
+
+    def test_version_derived_from_modeling(self):
+        assert self._checkpoint().version == 1
+        ck = self._checkpoint()
+        ck.modeling = {"fit_iter": 1, "warm": {}}
+        # version is set at construction time; save() serializes the field
+        ck2 = RunCheckpoint(**{
+            f.name: getattr(ck, f.name)
+            for f in dataclasses.fields(RunCheckpoint)
+            if f.name != "version"
+        })
+        assert ck2.version == 2
+
+    def test_modeling_roundtrip_is_version_2(self, tmp_path):
+        p = str(tmp_path / "ck.json")
+        ck = self._checkpoint()
+        ck.modeling = {
+            "fit_iter": 5,
+            "warm": {
+                "0": {
+                    "theta": [0.1, -0.2, 1.5],
+                    "transform": {"kind": "log", "mean": 0.3, "std": 1.1},
+                    "chunks": [[4], [6]],
+                }
+            },
+            "featurizer": {"lo": [0.0], "hi": [2.0], "models": [None]},
+        }
+        ck.version = 2
+        ck.save(p)
+        loaded = RunCheckpoint.load(p)
+        assert loaded.version == 2
+        assert loaded.modeling == ck.modeling
+
+    def test_version_1_file_without_modeling_still_loads(self, tmp_path):
+        # a checkpoint written before the modeling field existed
+        p = str(tmp_path / "ck.json")
+        self._checkpoint().save(p)
+        import json
+
+        raw = json.load(open(p))
+        assert raw["version"] == 1 and "modeling" not in raw
+        loaded = RunCheckpoint.load(p)
+        assert loaded.modeling is None and loaded.version == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        p = str(tmp_path / "ck.json")
+        self._checkpoint().save(p)
+        import json
+
+        raw = json.load(open(p))
+        raw["version"] = 99
+        (tmp_path / "ck.json").write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="version 99"):
+            RunCheckpoint.load(p)
 
     def test_no_tmp_leftovers(self, tmp_path):
         p = str(tmp_path / "ck.json")
